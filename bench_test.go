@@ -1,0 +1,158 @@
+// Benchmarks regenerating the paper's evaluation, one per table/figure.
+// Each benchmark iteration performs the complete experiment, so ns/op is
+// the experiment's wall-clock cost; the reported custom metrics carry the
+// figures' headline numbers (ratios, slopes, scaling factors). Use
+// cmd/benchtab for the full CSV series behind each figure.
+package fmossim_test
+
+import (
+	"testing"
+
+	"fmossim/internal/bench"
+	"fmossim/internal/logic"
+	"fmossim/internal/march"
+	"fmossim/internal/ram"
+	"fmossim/internal/serial"
+	"fmossim/internal/switchsim"
+
+	"fmossim/internal/netlist"
+)
+
+// BenchmarkTable1_TransistorStateFunction covers Table 1: the transistor
+// state function (gate state × type → conduction state) at the core of
+// every vicinity exploration.
+func BenchmarkTable1_TransistorStateFunction(b *testing.B) {
+	types := []logic.TransistorType{logic.NType, logic.PType, logic.DType}
+	vals := []logic.Value{logic.Lo, logic.Hi, logic.X}
+	var sink logic.Value
+	for i := 0; i < b.N; i++ {
+		sink = logic.SwitchState(types[i%3], vals[(i/3)%3])
+	}
+	_ = sink
+}
+
+// BenchmarkFig1_RAM64_Seq1 reproduces Figure 1: RAM64 under test sequence
+// 1 (407 patterns) with the full storage-node stuck-at universe,
+// concurrent simulation with fault dropping.
+func BenchmarkFig1_RAM64_Seq1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := bench.Fig1()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.ConcVsGood, "conc/good")
+		b.ReportMetric(r.SerialVsConc, "serial/conc")
+		b.ReportMetric(r.HeadWorkFraction, "head-frac")
+		b.ReportMetric(r.TailSlowdown, "tail-slowdown")
+		b.ReportMetric(100*float64(r.Detected)/float64(r.Faults), "coverage-%")
+	}
+}
+
+// BenchmarkFig2_RAM64_Seq2 reproduces Figure 2: the same fault set under
+// test sequence 2 (row/column marches omitted), showing the
+// detection-rate dependence of concurrent simulation time.
+func BenchmarkFig2_RAM64_Seq2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := bench.Fig2()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.ConcVsGood, "conc/good")
+		b.ReportMetric(r.SerialVsConc, "serial/conc")
+	}
+}
+
+// BenchmarkFig3_FaultSweep reproduces Figure 3's structure: average cost
+// per pattern versus the number of randomly sampled faults, linear for
+// both concurrent and serial simulation. The benchmark uses an 8×8 RAM
+// sweep to stay fast; cmd/benchtab -fig 3 runs the full RAM256 sweep.
+func BenchmarkFig3_FaultSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := bench.Fig3(bench.Fig3Config{Rows: 8, Cols: 8, Seed: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.ConcFit.R2, "conc-R2")
+		b.ReportMetric(r.SerialFit.R2, "serial-R2")
+		b.ReportMetric(r.SerialVsConcSlope, "serial/conc-slope")
+	}
+}
+
+// BenchmarkScaling reproduces the paper's size-scaling comparison: good
+// and concurrent times scale together, serial much faster, as circuit
+// size grows with fault count proportional to it. Quick instances (4×4 vs
+// 8×8) keep iterations fast; cmd/benchtab -fig scaling runs RAM64/RAM256.
+func BenchmarkScaling(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := bench.Scaling(true)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.GoodFactor, "good-factor")
+		b.ReportMetric(r.ConcFactor, "conc-factor")
+		b.ReportMetric(r.SerialFactor, "serial-factor")
+	}
+}
+
+// BenchmarkGoodCircuit_RAM64 measures the baseline every ratio is
+// computed against: the good circuit alone over sequence 1.
+func BenchmarkGoodCircuit_RAM64(b *testing.B) {
+	m := ram.RAM64()
+	seq := march.Sequence1(m)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := serial.Run(m.Net, nil, seq, serial.Options{Observe: []netlist.NodeID{m.DataOut}})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(res.GoodWork), "work-units")
+	}
+}
+
+// BenchmarkAblation_FaultDropping measures the paper's fault-dropping
+// design choice: without dropping, detected circuits keep consuming time.
+func BenchmarkAblation_FaultDropping(b *testing.B) {
+	m := ram.New(ram.Config{Rows: 4, Cols: 4})
+	faults := bench.NodeStuckOnly(m)
+	seq := march.Sequence1(m)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r, err := bench.AblationDropping(m, faults, seq)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.PenaltyFactor, "no-drop-penalty")
+	}
+}
+
+// BenchmarkAblation_DynamicLocality measures the dynamic-locality design
+// choice ([9] in the paper): with static DC partitioning, every
+// perturbation solves a huge vicinity.
+func BenchmarkAblation_DynamicLocality(b *testing.B) {
+	m := ram.New(ram.Config{Rows: 4, Cols: 4})
+	faults := bench.NodeStuckOnly(m)[:20]
+	seq := march.Sequence1(m)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r, err := bench.AblationDynamicLocality(m, faults, seq)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.PenaltyFactor, "static-penalty")
+	}
+}
+
+// BenchmarkSolver_SettleRAM64Pattern measures the raw kernel: one full
+// clock cycle of the good RAM64 circuit.
+func BenchmarkSolver_SettleRAM64Pattern(b *testing.B) {
+	m := ram.RAM64()
+	sim := switchsim.NewSimulator(m.Net)
+	sim.Init()
+	w := m.Write(0, logic.Hi)
+	r := m.Read(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sim.RunPattern(&w)
+		sim.RunPattern(&r)
+	}
+}

@@ -1,0 +1,141 @@
+// Command benchtab regenerates the tables and figures of the paper's
+// evaluation section. For each figure it runs the corresponding experiment
+// on the generated RAM circuits, writes the per-point series as CSV, and
+// prints a summary comparing the measured shape metrics with the paper's
+// published numbers.
+//
+// Usage:
+//
+//	benchtab -fig 1           # Figure 1: RAM64, sequence 1 curves -> fig1.csv
+//	benchtab -fig 2           # Figure 2: RAM64, sequence 2 curves -> fig2.csv
+//	benchtab -fig 3           # Figure 3: RAM256 fault sweep       -> fig3.csv
+//	benchtab -fig scaling     # RAM64 vs RAM256 scaling factors
+//	benchtab -fig faultclass  # §5: fault-class comparison
+//	benchtab -fig ablation    # design-choice ablations
+//	benchtab -fig all         # everything
+//	benchtab -out DIR         # where CSV files go (default .)
+//	benchtab -quick           # smaller instances for fig 3 / scaling
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"fmossim/internal/bench"
+	"fmossim/internal/march"
+	"fmossim/internal/ram"
+)
+
+func main() {
+	fig := flag.String("fig", "all", "figure to regenerate: 1, 2, 3, scaling, faultclass, ablation, all")
+	out := flag.String("out", ".", "output directory for CSV files")
+	quick := flag.Bool("quick", false, "use smaller circuit instances (fast smoke runs)")
+	flag.Parse()
+
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		fatal(err)
+	}
+	all := *fig == "all"
+
+	if all || *fig == "1" {
+		fmt.Println("== Figure 1: RAM64, test sequence 1 ==")
+		r, err := bench.Fig1()
+		if err != nil {
+			fatal(err)
+		}
+		writeCSV(filepath.Join(*out, "fig1.csv"), func(f *os.File) error {
+			return bench.WriteCurveCSV(f, r)
+		})
+		r.Summarize(os.Stdout, bench.PaperFig1)
+		fmt.Println()
+	}
+	if all || *fig == "2" {
+		fmt.Println("== Figure 2: RAM64, test sequence 2 ==")
+		r, err := bench.Fig2()
+		if err != nil {
+			fatal(err)
+		}
+		writeCSV(filepath.Join(*out, "fig2.csv"), func(f *os.File) error {
+			return bench.WriteCurveCSV(f, r)
+		})
+		r.Summarize(os.Stdout, bench.PaperFig2)
+		fmt.Println()
+	}
+	if all || *fig == "3" {
+		fmt.Println("== Figure 3: fault-sample sweep ==")
+		cfg := bench.Fig3Config{Seed: 1}
+		if *quick {
+			cfg.Rows, cfg.Cols = 8, 8
+		}
+		r, err := bench.Fig3(cfg)
+		if err != nil {
+			fatal(err)
+		}
+		writeCSV(filepath.Join(*out, "fig3.csv"), func(f *os.File) error {
+			return bench.WriteFig3CSV(f, r)
+		})
+		r.Summarize(os.Stdout)
+		fmt.Println()
+	}
+	if all || *fig == "scaling" {
+		fmt.Println("== Scaling: RAM64 vs RAM256 ==")
+		r, err := bench.Scaling(*quick)
+		if err != nil {
+			fatal(err)
+		}
+		r.Summarize(os.Stdout)
+		fmt.Println()
+	}
+	if all || *fig == "faultclass" {
+		fmt.Println("== §5 validation: fault classes (RAM64, sequence 1) ==")
+		rows, err := bench.FaultClasses(ram.RAM64(), 30, 7)
+		if err != nil {
+			fatal(err)
+		}
+		bench.WriteFaultClasses(os.Stdout, rows)
+		fmt.Println()
+	}
+	if all || *fig == "ablation" {
+		fmt.Println("== Ablations (RAM64 unless noted) ==")
+		m := ram.RAM64()
+		faults := bench.NodeStuckOnly(m)
+		seq := march.Sequence1(m)
+		if r, err := bench.AblationDropping(m, faults, seq); err == nil {
+			r.Summarize(os.Stdout)
+		} else {
+			fatal(err)
+		}
+		if r, err := bench.AblationTrajectoryAdoption(m, faults, seq); err == nil {
+			r.Summarize(os.Stdout)
+		} else {
+			fatal(err)
+		}
+		small := ram.New(ram.Config{Rows: 4, Cols: 4})
+		if r, err := bench.AblationDynamicLocality(small, bench.NodeStuckOnly(small), march.Sequence1(small)); err == nil {
+			fmt.Print("  (4×4 instance) ")
+			r.Summarize(os.Stdout)
+		} else {
+			fatal(err)
+		}
+		fmt.Println()
+	}
+}
+
+func writeCSV(path string, write func(*os.File) error) {
+	f, err := os.Create(path)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	if err := write(f); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wrote %s\n", path)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchtab:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,64 @@
+// Command faultgen enumerates fault universes from a netlist and writes
+// them as fault-list files for cmd/fmossim.
+//
+// Usage:
+//
+//	faultgen -net circuit.sim -classes node,trans -sample 100 -seed 1 > faults.txt
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"strings"
+
+	"fmossim/internal/fault"
+	"fmossim/internal/netlist"
+)
+
+func main() {
+	netPath := flag.String("net", "", "netlist file (required)")
+	classes := flag.String("classes", "node", "comma-separated fault classes: node, trans")
+	sample := flag.Int("sample", 0, "random sample size (0 = the whole universe)")
+	seed := flag.Int64("seed", 1, "sampling seed")
+	flag.Parse()
+	if *netPath == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	f, err := os.Open(*netPath)
+	if err != nil {
+		fatal(err)
+	}
+	nw, err := netlist.Read(f)
+	f.Close()
+	if err != nil {
+		fatal(err)
+	}
+
+	var fs []fault.Fault
+	for _, cl := range strings.Split(*classes, ",") {
+		switch strings.TrimSpace(cl) {
+		case "node":
+			fs = append(fs, fault.NodeStuckFaults(nw, fault.Options{})...)
+		case "trans":
+			fs = append(fs, fault.TransistorStuckFaults(nw, fault.Options{})...)
+		default:
+			fatal(fmt.Errorf("unknown fault class %q", cl))
+		}
+	}
+	if *sample > 0 {
+		fs = fault.Sample(fs, *sample, rand.New(rand.NewSource(*seed)))
+	}
+	if err := fault.WriteList(os.Stdout, nw, fs); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "faultgen: %d faults\n", len(fs))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "faultgen:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,174 @@
+// Command fmossim runs a concurrent switch-level fault simulation: it
+// reads a netlist, a fault list, and a pattern script, simulates all
+// faults concurrently against the good circuit, and reports coverage.
+//
+// Usage:
+//
+//	fmossim -net circuit.sim -faults faults.txt -patterns test.pat -observe out
+//
+// The pattern script is line-oriented: each non-empty, non-comment line is
+// one input setting "name=value name=value ...", and a line "pattern
+// [NAME]" starts a new pattern (clock cycle). Outputs are observed after
+// every setting.
+//
+// Fault-list and netlist formats are documented in internal/fault and
+// internal/netlist. With -faults omitted, all storage-node stuck-at
+// faults are simulated.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"fmossim/internal/core"
+	"fmossim/internal/fault"
+	"fmossim/internal/logic"
+	"fmossim/internal/netlist"
+	"fmossim/internal/switchsim"
+)
+
+func main() {
+	netPath := flag.String("net", "", "netlist file (required)")
+	faultPath := flag.String("faults", "", "fault list file (default: all storage-node stuck-at faults)")
+	patPath := flag.String("patterns", "", "pattern script (required)")
+	observe := flag.String("observe", "", "comma-separated observed output nodes (required)")
+	verbose := flag.Bool("v", false, "print every detection")
+	noDrop := flag.Bool("nodrop", false, "keep simulating detected faults")
+	flag.Parse()
+
+	if *netPath == "" || *patPath == "" || *observe == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	nw := readNet(*netPath)
+	var outs []netlist.NodeID
+	for _, name := range strings.Split(*observe, ",") {
+		id := nw.Lookup(strings.TrimSpace(name))
+		if id == netlist.NoNode {
+			fatal(fmt.Errorf("unknown observed node %q", name))
+		}
+		outs = append(outs, id)
+	}
+
+	var faults []fault.Fault
+	if *faultPath == "" {
+		faults = fault.NodeStuckFaults(nw, fault.Options{})
+	} else {
+		f, err := os.Open(*faultPath)
+		if err != nil {
+			fatal(err)
+		}
+		faults, err = fault.ReadList(f, nw)
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
+	}
+
+	seq := readPatterns(*patPath, nw)
+
+	opts := core.Options{Observe: outs}
+	if *noDrop {
+		opts.Drop = core.NeverDrop
+	}
+	sim, err := core.New(nw, faults, opts)
+	if err != nil {
+		fatal(err)
+	}
+	res := sim.Run(seq)
+
+	res.Summary(os.Stdout)
+	if *verbose {
+		for i := range faults {
+			if d, ok := sim.Detected(i); ok {
+				fmt.Printf("  detected %-40s pattern %4d setting %d: %s vs good %s at %s\n",
+					faults[i].Describe(nw), d.Pattern, d.Setting, d.Faulty, d.Good, nw.Name(d.Output))
+			} else {
+				fmt.Printf("  UNDETECTED %s\n", faults[i].Describe(nw))
+			}
+		}
+	}
+}
+
+func readNet(path string) *netlist.Network {
+	f, err := os.Open(path)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	nw, err := netlist.Read(f)
+	if err != nil {
+		fatal(err)
+	}
+	for _, issue := range netlist.Lint(nw) {
+		fmt.Fprintln(os.Stderr, "lint:", issue)
+	}
+	return nw
+}
+
+// readPatterns parses the pattern script.
+func readPatterns(path string, nw *netlist.Network) *switchsim.Sequence {
+	f, err := os.Open(path)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+
+	seq := &switchsim.Sequence{Name: path}
+	cur := &switchsim.Pattern{Name: "p0"}
+	flush := func() {
+		if len(cur.Settings) > 0 {
+			seq.Patterns = append(seq.Patterns, *cur)
+		}
+	}
+	sc := bufio.NewScanner(f)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "|") || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if fields[0] == "pattern" {
+			flush()
+			name := fmt.Sprintf("p%d", len(seq.Patterns))
+			if len(fields) > 1 {
+				name = fields[1]
+			}
+			cur = &switchsim.Pattern{Name: name}
+			continue
+		}
+		var set switchsim.Setting
+		for _, tok := range fields {
+			eq := strings.IndexByte(tok, '=')
+			if eq < 0 {
+				fatal(fmt.Errorf("%s:%d: expected name=value, got %q", path, lineNo, tok))
+			}
+			id := nw.Lookup(tok[:eq])
+			if id == netlist.NoNode {
+				fatal(fmt.Errorf("%s:%d: unknown node %q", path, lineNo, tok[:eq]))
+			}
+			v, err := logic.ParseValue(tok[eq+1:])
+			if err != nil {
+				fatal(fmt.Errorf("%s:%d: %v", path, lineNo, err))
+			}
+			set = append(set, switchsim.Assignment{Node: id, Value: v})
+		}
+		cur.Settings = append(cur.Settings, set)
+	}
+	if err := sc.Err(); err != nil {
+		fatal(err)
+	}
+	flush()
+	return seq
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "fmossim:", err)
+	os.Exit(1)
+}

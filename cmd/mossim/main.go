@@ -1,0 +1,143 @@
+// Command mossim is a script-driven switch-level logic simulator (the
+// MOSSIM-II-equivalent component of this library).
+//
+// Usage:
+//
+//	mossim -net circuit.sim -script sim.txt
+//
+// Script commands, one per line:
+//
+//	set NAME=VALUE ...    assign inputs and settle
+//	show NAME ...         print node states
+//	watch NAME ...        print these nodes after every set
+//	reset                 reinitialize the circuit
+//	| comment
+//
+// With -vcd FILE, every settled input setting is sampled into a Value
+// Change Dump viewable in GTKWave and similar tools.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"fmossim/internal/logic"
+	"fmossim/internal/netlist"
+	"fmossim/internal/switchsim"
+	"fmossim/internal/trace"
+)
+
+func main() {
+	netPath := flag.String("net", "", "netlist file (required)")
+	scriptPath := flag.String("script", "", "script file (default: stdin)")
+	vcdPath := flag.String("vcd", "", "dump a VCD waveform of every node here")
+	flag.Parse()
+	if *netPath == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	nf, err := os.Open(*netPath)
+	if err != nil {
+		fatal(err)
+	}
+	nw, err := netlist.Read(nf)
+	nf.Close()
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Println("loaded:", nw.Stats())
+
+	in := os.Stdin
+	if *scriptPath != "" {
+		in, err = os.Open(*scriptPath)
+		if err != nil {
+			fatal(err)
+		}
+		defer in.Close()
+	}
+
+	sim := switchsim.NewSimulator(nw)
+	if *vcdPath != "" {
+		vf, err := os.Create(*vcdPath)
+		if err != nil {
+			fatal(err)
+		}
+		rec := trace.New(vf, nw, nil)
+		rec.Attach(sim)
+		defer func() {
+			if err := rec.Flush(); err != nil {
+				fatal(err)
+			}
+			vf.Close()
+			fmt.Println("wrote", *vcdPath)
+		}()
+	}
+	sim.Init()
+	var watch []string
+
+	show := func(names []string) {
+		parts := make([]string, 0, len(names))
+		for _, n := range names {
+			if nw.Lookup(n) == netlist.NoNode {
+				fmt.Fprintf(os.Stderr, "unknown node %q\n", n)
+				continue
+			}
+			parts = append(parts, fmt.Sprintf("%s=%s", n, sim.Value(n)))
+		}
+		fmt.Println(strings.Join(parts, " "))
+	}
+
+	sc := bufio.NewScanner(in)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "|") || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		switch fields[0] {
+		case "set":
+			pairs := map[string]logic.Value{}
+			for _, tok := range fields[1:] {
+				eq := strings.IndexByte(tok, '=')
+				if eq < 0 {
+					fmt.Fprintf(os.Stderr, "%d: expected name=value, got %q\n", lineNo, tok)
+					continue
+				}
+				v, err := logic.ParseValue(tok[eq+1:])
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "%d: %v\n", lineNo, err)
+					continue
+				}
+				pairs[tok[:eq]] = v
+			}
+			if _, err := sim.Set(pairs); err != nil {
+				fmt.Fprintf(os.Stderr, "%d: %v\n", lineNo, err)
+			}
+			if len(watch) > 0 {
+				show(watch)
+			}
+		case "show":
+			show(fields[1:])
+		case "watch":
+			watch = append([]string(nil), fields[1:]...)
+		case "reset":
+			sim.Init()
+		default:
+			fmt.Fprintf(os.Stderr, "%d: unknown command %q\n", lineNo, fields[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "mossim:", err)
+	os.Exit(1)
+}

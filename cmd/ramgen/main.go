@@ -1,0 +1,85 @@
+// Command ramgen emits the benchmark RAM circuits as netlist files, and
+// optionally the marching-test pattern scripts that exercise them (in the
+// format cmd/fmossim reads).
+//
+// Usage:
+//
+//	ramgen -rows 8 -cols 8 -net ram64.sim -patterns seq1.pat -seq 1
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+
+	"fmossim/internal/march"
+	"fmossim/internal/netlist"
+	"fmossim/internal/ram"
+	"fmossim/internal/switchsim"
+)
+
+func main() {
+	rows := flag.Int("rows", 8, "number of rows (power of two)")
+	cols := flag.Int("cols", 8, "number of columns (power of two)")
+	netPath := flag.String("net", "", "write the netlist here (required)")
+	patPath := flag.String("patterns", "", "also write a test sequence pattern script")
+	seqNo := flag.Int("seq", 1, "which paper test sequence for -patterns: 1 or 2")
+	flag.Parse()
+	if *netPath == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	m := ram.New(ram.Config{Rows: *rows, Cols: *cols})
+	f, err := os.Create(*netPath)
+	if err != nil {
+		fatal(err)
+	}
+	if err := netlist.Write(f, m.Net); err != nil {
+		fatal(err)
+	}
+	f.Close()
+	fmt.Printf("wrote %s: %s (observe %q)\n", *netPath, m.Net.Stats(), ram.Dout)
+
+	if *patPath == "" {
+		return
+	}
+	var seq *switchsim.Sequence
+	switch *seqNo {
+	case 1:
+		seq = march.Sequence1(m)
+	case 2:
+		seq = march.Sequence2(m)
+	default:
+		fatal(fmt.Errorf("unknown sequence %d", *seqNo))
+	}
+	pf, err := os.Create(*patPath)
+	if err != nil {
+		fatal(err)
+	}
+	w := bufio.NewWriter(pf)
+	for pi := range seq.Patterns {
+		p := &seq.Patterns[pi]
+		fmt.Fprintf(w, "pattern %s\n", p.Name)
+		for _, set := range p.Settings {
+			for i, a := range set {
+				if i > 0 {
+					fmt.Fprint(w, " ")
+				}
+				fmt.Fprintf(w, "%s=%s", m.Net.Name(a.Node), a.Value)
+			}
+			fmt.Fprintln(w)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		fatal(err)
+	}
+	pf.Close()
+	fmt.Printf("wrote %s: %d patterns (%d settings)\n", *patPath, len(seq.Patterns), seq.NumSettings())
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ramgen:", err)
+	os.Exit(1)
+}

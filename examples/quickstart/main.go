@@ -1,0 +1,76 @@
+// Quickstart: build a small nMOS circuit, simulate it, inject a fault,
+// and detect it with the concurrent fault simulator.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"fmossim"
+	"fmossim/internal/gates"
+)
+
+func main() {
+	// An nMOS half adder stage: sum = a XOR b built from NANDs, plus a
+	// carry NAND, all ratioed logic with depletion loads.
+	b := fmossim.NewBuilder(fmossim.Scale{Sizes: 2, Strengths: 2})
+	a := b.Input("a", fmossim.Lo)
+	bb := b.Input("b", fmossim.Lo)
+	nand := b.Node("nand")
+	x1 := b.Node("x1")
+	x2 := b.Node("x2")
+	sum := b.Node("sum")
+	carry := b.Node("carry")
+	gates.NNand(b, nand, "g0", a, bb)
+	gates.NNand(b, x1, "g1", a, nand)
+	gates.NNand(b, x2, "g2", bb, nand)
+	gates.NNand(b, sum, "g3", x1, x2)
+	gates.NInv(b, nand, carry, "g4")
+	nw := b.Finalize()
+	fmt.Println("built:", nw.Stats())
+
+	// Logic simulation: verify the truth table.
+	sim := fmossim.NewLogicSimulator(nw)
+	fmt.Println("\n a b | sum carry")
+	for _, va := range []fmossim.Value{fmossim.Lo, fmossim.Hi} {
+		for _, vb := range []fmossim.Value{fmossim.Lo, fmossim.Hi} {
+			sim.MustSet(map[string]fmossim.Value{"a": va, "b": vb})
+			fmt.Printf(" %s %s |  %s    %s\n", va, vb, sim.Value("sum"), sim.Value("carry"))
+		}
+	}
+
+	// Fault simulation: every storage node stuck at 0 and 1, plus every
+	// transistor stuck open and closed, under an exhaustive two-bit test.
+	faults := fmossim.NodeStuckFaults(nw, fmossim.FaultOptions{})
+	faults = append(faults, fmossim.TransistorStuckFaults(nw, fmossim.FaultOptions{})...)
+
+	seq := &fmossim.Sequence{Name: "exhaustive"}
+	for _, v := range []map[string]fmossim.Value{
+		{"a": fmossim.Lo, "b": fmossim.Lo},
+		{"a": fmossim.Hi, "b": fmossim.Lo},
+		{"a": fmossim.Lo, "b": fmossim.Hi},
+		{"a": fmossim.Hi, "b": fmossim.Hi},
+		{"a": fmossim.Lo, "b": fmossim.Lo},
+	} {
+		set, err := fmossim.Vector(nw, v)
+		if err != nil {
+			log.Fatal(err)
+		}
+		seq.Patterns = append(seq.Patterns, fmossim.Pattern{Settings: []fmossim.Setting{set}})
+	}
+
+	fsim, err := fmossim.NewFaultSimulator(nw, faults, fmossim.FaultSimOptions{
+		Observe: []fmossim.NodeID{nw.MustLookup("sum"), nw.MustLookup("carry")},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	res := fsim.Run(seq)
+	fmt.Printf("\nfault simulation: %d faults, %d detected (%.0f%% coverage)\n",
+		res.NumFaults, res.Detected, 100*res.Coverage())
+	for i := range faults {
+		if _, ok := fsim.Detected(i); !ok {
+			fmt.Printf("  undetected: %s\n", faults[i].Describe(nw))
+		}
+	}
+}

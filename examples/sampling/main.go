@@ -1,0 +1,45 @@
+// Random fault sampling: the paper's third question — "How would fault
+// simulation times be affected if we simulate only a random sample of the
+// possible faults?" Its answer: simulation time grows linearly with the
+// sample size, and a modest sample estimates coverage well.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"fmossim"
+	"fmossim/internal/bench"
+	"fmossim/internal/fault"
+	"fmossim/internal/march"
+)
+
+func main() {
+	m := fmossim.NewRAM(fmossim.RAMConfig{Rows: 8, Cols: 8})
+	universe := bench.PaperFaults(m)
+	seq := march.Sequence1(m)
+	rng := rand.New(rand.NewSource(42))
+
+	fmt.Printf("universe: %d faults, sequence: %d patterns\n\n", len(universe), len(seq.Patterns))
+	fmt.Printf("%8s %12s %14s %12s\n", "sample", "coverage", "work units", "work/fault")
+
+	var fullCoverage float64
+	for _, n := range []int{20, 50, 100, 200, len(universe)} {
+		fs := fault.Sample(universe, n, rng)
+		sim, err := fmossim.NewFaultSimulator(m.Net, fs, fmossim.FaultSimOptions{
+			Observe: []fmossim.NodeID{m.DataOut},
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		res := sim.Run(seq)
+		fmt.Printf("%8d %11.1f%% %14d %12.0f\n",
+			n, 100*res.Coverage(), res.TotalWork(), float64(res.TotalWork())/float64(n))
+		if n == len(universe) {
+			fullCoverage = res.Coverage()
+		}
+	}
+	fmt.Printf("\nfull-universe coverage: %.1f%% — note how closely the small samples estimate it,\n", 100*fullCoverage)
+	fmt.Println("and how work per fault stays flat: simulation time is linear in sample size (Fig. 3).")
+}

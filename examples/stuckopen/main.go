@@ -1,0 +1,82 @@
+// Stuck-open faults turn combinational CMOS gates into sequential
+// devices: the motivating example for switch-level fault simulation.
+//
+// A CMOS NOR with its pull-up stuck open cannot drive its output high;
+// instead the output *remembers* its previous value as trapped charge. No
+// single test vector can detect the fault — a two-pattern test is
+// required: first initialize the output low, then apply the input that
+// should drive it high and observe that it stays low. Gate-level stuck-at
+// fault models cannot express this behavior; the switch-level model gets
+// it for free because charge storage is part of the model.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"fmossim"
+	"fmossim/internal/gates"
+)
+
+func main() {
+	b := fmossim.NewBuilder(fmossim.Scale{Sizes: 2, Strengths: 2})
+	a := b.Input("a", fmossim.Lo)
+	bIn := b.Input("b", fmossim.Lo)
+	out := b.Node("out")
+	gates.CNor(b, out, "nor", a, bIn)
+	nw := b.Finalize()
+
+	// The pull-up closest to Vdd is "nor.pu0" (gated by a).
+	var pu fmossim.TransID = -1
+	for i := 0; i < nw.NumTransistors(); i++ {
+		if nw.Transistor(fmossim.TransID(i)).Label == "nor.pu0" {
+			pu = fmossim.TransID(i)
+		}
+	}
+	f := fmossim.Fault{Kind: fmossim.TransStuckOpen, Trans: pu}
+	fmt.Println("fault:", f.Describe(nw))
+
+	vec := func(va, vb fmossim.Value) fmossim.Pattern {
+		set, err := fmossim.Vector(nw, map[string]fmossim.Value{"a": va, "b": vb})
+		if err != nil {
+			log.Fatal(err)
+		}
+		return fmossim.Pattern{Settings: []fmossim.Setting{set}}
+	}
+
+	// A single static vector (a=0,b=0 should give out=1) does NOT give a
+	// definite detection: from power-on the faulty output floats at X.
+	single := &fmossim.Sequence{Name: "single", Patterns: []fmossim.Pattern{vec(fmossim.Lo, fmossim.Lo)}}
+	sim1, err := fmossim.NewFaultSimulator(nw, []fmossim.Fault{f}, fmossim.FaultSimOptions{
+		Observe: []fmossim.NodeID{nw.MustLookup("out")},
+		Drop:    fmossim.DropHardOnly, // a tester needs a definite wrong value
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	r1 := sim1.Run(single)
+	fmt.Printf("single-vector test: hard detections = %d (faulty out = %s: trapped charge, not a definite error)\n",
+		r1.HardDetected, sim1.FaultValue(0, nw.MustLookup("out")))
+
+	// The two-pattern test: (a=1,b=0) initializes out low in both
+	// circuits; then (a=0,b=0) should charge it high — the good circuit
+	// does, the faulty one remembers 0. A definite, hard detection.
+	two := &fmossim.Sequence{Name: "two-pattern", Patterns: []fmossim.Pattern{
+		vec(fmossim.Hi, fmossim.Lo), // init: out <- 0 in good AND faulty
+		vec(fmossim.Lo, fmossim.Lo), // good: out -> 1; faulty: stays 0
+	}}
+	sim2, err := fmossim.NewFaultSimulator(nw, []fmossim.Fault{f}, fmossim.FaultSimOptions{
+		Observe: []fmossim.NodeID{nw.MustLookup("out")},
+		Drop:    fmossim.DropHardOnly,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	r2 := sim2.Run(two)
+	d, ok := sim2.Detected(0)
+	fmt.Printf("two-pattern test: hard detections = %d", r2.HardDetected)
+	if ok {
+		fmt.Printf(" (pattern %d: good=%s faulty=%s — the gate became a sequential element)", d.Pattern, d.Good, d.Faulty)
+	}
+	fmt.Println()
+}

@@ -1,0 +1,213 @@
+// Package fmossim is a concurrent switch-level fault simulator for MOS
+// digital circuits: a from-scratch reproduction of FMOSSIM (Bryant &
+// Schuster, "Performance Evaluation of FMOSSIM, a Concurrent Switch-Level
+// Fault Simulator", 22nd Design Automation Conference, 1985).
+//
+// The library models circuits at the switch level: charge-storage nodes
+// with ternary states {0,1,X} and discrete sizes, connected by
+// bidirectional transistor switches (n/p/d types) with discrete strengths.
+// On top of the switch-level kernel it provides a logic simulator
+// (MOSSIM-II equivalent), fault models for the non-classical MOS failures
+// gate-level simulators cannot express (stuck-open/stuck-closed
+// transistors, shorted and open wires) alongside classical stuck-at
+// faults, a concurrent fault simulator whose cost scales with circuit
+// activity rather than fault count, a serial reference simulator, the
+// paper's dynamic-RAM benchmark circuits and marching-test generators, and
+// a harness regenerating every figure of the paper's evaluation.
+//
+// Quick start:
+//
+//	b := fmossim.NewBuilder(fmossim.Scale{Sizes: 2, Strengths: 2})
+//	in := b.Input("in", fmossim.Lo)
+//	out := b.Node("out")
+//	gates.NInv(b, in, out, "inv")
+//	nw := b.Finalize()
+//
+//	sim := fmossim.NewLogicSimulator(nw)
+//	sim.MustSet(map[string]fmossim.Value{"in": fmossim.Hi})
+//	fmt.Println(sim.Value("out")) // 0
+//
+//	faults := fmossim.NodeStuckFaults(nw, fmossim.FaultOptions{})
+//	fsim, _ := fmossim.NewFaultSimulator(nw, faults, fmossim.FaultSimOptions{
+//		Observe: []fmossim.NodeID{nw.MustLookup("out")},
+//	})
+//	res := fsim.Run(seq)
+//	fmt.Printf("coverage %.1f%%\n", 100*res.Coverage())
+//
+// See the examples directory for complete programs, DESIGN.md for the
+// architecture, and EXPERIMENTS.md for the paper-reproduction results.
+package fmossim
+
+import (
+	"io"
+
+	"fmossim/internal/core"
+	"fmossim/internal/fault"
+	"fmossim/internal/logic"
+	"fmossim/internal/netlist"
+	"fmossim/internal/ram"
+	"fmossim/internal/serial"
+	"fmossim/internal/switchsim"
+	"fmossim/internal/trace"
+)
+
+// Ternary logic values.
+type Value = logic.Value
+
+// Logic value constants.
+const (
+	Lo = logic.Lo
+	Hi = logic.Hi
+	X  = logic.X
+)
+
+// TransistorType is one of the three switch types (n/p/d).
+type TransistorType = logic.TransistorType
+
+// Transistor types.
+const (
+	NType = logic.NType
+	PType = logic.PType
+	DType = logic.DType
+)
+
+// Scale declares how many node sizes and transistor strengths a network
+// uses.
+type Scale = logic.Scale
+
+// Network construction.
+type (
+	// Network is a switch-level network of nodes and transistors.
+	Network = netlist.Network
+	// Builder constructs networks with power-rail conventions.
+	Builder = netlist.Builder
+	// NodeID identifies a node; TransID a transistor.
+	NodeID  = netlist.NodeID
+	TransID = netlist.TransID
+)
+
+// NewNetwork returns an empty network with the given scale.
+func NewNetwork(scale Scale) *Network { return netlist.New(scale) }
+
+// NewBuilder returns a construction helper with Vdd/Gnd declared.
+func NewBuilder(scale Scale) *Builder { return netlist.NewBuilder(scale) }
+
+// Logic simulation.
+type (
+	// LogicSimulator is the switch-level logic simulator (MOSSIM-II
+	// equivalent): one circuit stepped through input settings.
+	LogicSimulator = switchsim.Simulator
+	// Setting is one simultaneous input assignment; Pattern a named group
+	// of settings (one clock cycle); Sequence an ordered test sequence.
+	Setting  = switchsim.Setting
+	Pattern  = switchsim.Pattern
+	Sequence = switchsim.Sequence
+)
+
+// NewLogicSimulator builds a logic simulator over a finalized network.
+func NewLogicSimulator(nw *Network) *LogicSimulator {
+	return switchsim.NewSimulator(nw)
+}
+
+// Vector builds a Setting from node-name/value pairs.
+func Vector(nw *Network, pairs map[string]Value) (Setting, error) {
+	return switchsim.Vector(nw, pairs)
+}
+
+// Fault modeling.
+type (
+	// Fault is one fault instance; FaultKind its class.
+	Fault     = fault.Fault
+	FaultKind = fault.Kind
+	// FaultOptions configures enumeration.
+	FaultOptions = fault.Options
+)
+
+// Fault kinds.
+const (
+	NodeStuck0       = fault.NodeStuck0
+	NodeStuck1       = fault.NodeStuck1
+	NodeStuckX       = fault.NodeStuckX
+	TransStuckOpen   = fault.TransStuckOpen
+	TransStuckClosed = fault.TransStuckClosed
+	Bridge           = fault.Bridge
+	Open             = fault.Open
+)
+
+// NodeStuckFaults enumerates stuck-at-0/1 faults on every storage node.
+func NodeStuckFaults(nw *Network, opt FaultOptions) []Fault {
+	return fault.NodeStuckFaults(nw, opt)
+}
+
+// TransistorStuckFaults enumerates stuck-open/closed faults on every real
+// transistor.
+func TransistorStuckFaults(nw *Network, opt FaultOptions) []Fault {
+	return fault.TransistorStuckFaults(nw, opt)
+}
+
+// Concurrent fault simulation (the FMOSSIM algorithm).
+type (
+	// FaultSimulator is the concurrent fault simulator.
+	FaultSimulator = core.Simulator
+	// FaultSimOptions configures it; FaultSimResult is a run's outcome.
+	FaultSimOptions = core.Options
+	FaultSimResult  = core.Result
+	// Detection describes one fault's first detection.
+	Detection = core.Detection
+	// DropPolicy selects when detected circuits are dropped.
+	DropPolicy = core.DropPolicy
+)
+
+// Drop policies.
+const (
+	DropAnyDifference = core.DropAnyDifference
+	DropHardOnly      = core.DropHardOnly
+	NeverDrop         = core.NeverDrop
+)
+
+// NewFaultSimulator builds a concurrent fault simulator: the good circuit
+// is initialized and every fault inserted (present from power-on) before
+// the first pattern.
+func NewFaultSimulator(nw *Network, faults []Fault, opts FaultSimOptions) (*FaultSimulator, error) {
+	return core.New(nw, faults, opts)
+}
+
+// Serial reference simulation.
+type (
+	// SerialOptions configures the serial baseline; SerialResult is its
+	// outcome.
+	SerialOptions = serial.Options
+	SerialResult  = serial.Result
+)
+
+// RunSerial simulates every fault in its own full circuit copy: the
+// baseline concurrent simulation is compared against.
+func RunSerial(nw *Network, faults []Fault, seq *Sequence, opts SerialOptions) (*SerialResult, error) {
+	return serial.Run(nw, faults, seq, opts)
+}
+
+// Benchmark circuits.
+type (
+	// RAM is a generated 3T-cell dynamic RAM (the paper's evaluation
+	// substrate); RAMConfig sizes it.
+	RAM       = ram.RAM
+	RAMConfig = ram.Config
+)
+
+// NewRAM generates a dynamic RAM instance.
+func NewRAM(cfg RAMConfig) *RAM { return ram.New(cfg) }
+
+// RAM64 generates the paper's 8×8 instance; RAM256 the 16×16 one.
+func RAM64() *RAM  { return ram.RAM64() }
+func RAM256() *RAM { return ram.RAM256() }
+
+// Waveform tracing.
+
+// TraceRecorder captures watched node values and writes IEEE 1364 VCD.
+type TraceRecorder = trace.Recorder
+
+// NewTraceRecorder returns a VCD recorder over w watching the given nodes
+// (all nodes when empty); attach it to a LogicSimulator with Attach.
+func NewTraceRecorder(w io.Writer, nw *Network, nodes []NodeID) *TraceRecorder {
+	return trace.New(w, nw, nodes)
+}

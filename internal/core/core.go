@@ -1,0 +1,301 @@
+// Package core implements FMOSSIM's concurrent switch-level fault
+// simulation algorithm: the paper's primary contribution.
+//
+// The good circuit (id 0) is simulated in its entirety. For each faulty
+// circuit, the simulator keeps only divergence records ⟨circuit, state⟩ on
+// the nodes whose state differs from the good circuit, plus the fault pin
+// itself. Per input setting, the good circuit is simulated first; the
+// activity it generates — together with the input changes — determines
+// which faulty circuits must be re-simulated ("events are scheduled on a
+// circuit-by-circuit basis"). Each activated faulty circuit is then
+// simulated separately by materializing its view (good state overlaid with
+// its records and fault), settling only from its perturbed nodes, and
+// diffing the touched region back into records. This exploits the
+// data-dependent locality of each circuit individually, which is the
+// paper's key adaptation of concurrent simulation to the switch level,
+// where logic-element boundaries (transistor vicinities) differ between
+// the good and faulty circuits.
+//
+// A faulty circuit is activated when the good circuit's activity touches
+// its interest set: its divergence records, the channel terminals of
+// transistors whose conduction in the faulty circuit differs from the good
+// circuit (stuck transistors, transistors gated by divergent or faulted
+// nodes), and the neighborhood of faulted nodes. The per-node interest
+// index plays the role of the paper's per-node state lists sorted by
+// circuit id with shadow pointers: it makes "which circuits care about
+// this node" an O(listeners) query.
+//
+// Whenever a faulty circuit's observed output differs from the good
+// circuit's, the fault is detected and the circuit is dropped: its records
+// are purged and it is never simulated again.
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"fmossim/internal/fault"
+	"fmossim/internal/logic"
+	"fmossim/internal/netlist"
+	"fmossim/internal/switchsim"
+)
+
+// CircuitID identifies a circuit: 0 is the good circuit, faulty circuits
+// are 1 + index into the fault list.
+type CircuitID int32
+
+// GoodCircuit is the id of the fault-free circuit.
+const GoodCircuit CircuitID = 0
+
+// DropPolicy selects when a detected fault's circuit is dropped.
+type DropPolicy uint8
+
+const (
+	// DropAnyDifference drops a fault the first time its observed output
+	// differs from the good circuit in any way, including X-vs-definite
+	// (potential) differences. This matches the paper: "Any time the
+	// simulation of a faulty circuit produces a result on the output data
+	// pin different than the good circuit simulation, the fault is
+	// considered detected, and the simulation of that circuit is dropped."
+	DropAnyDifference DropPolicy = iota
+	// DropHardOnly drops only on hard detections (both values definite
+	// and different); potential differences are recorded but the circuit
+	// stays live.
+	DropHardOnly
+	// NeverDrop records detections but keeps simulating every circuit:
+	// the fault-dropping ablation.
+	NeverDrop
+)
+
+// Options configures a concurrent fault simulation.
+type Options struct {
+	// Observe lists the observed output nodes. Required.
+	Observe []netlist.NodeID
+	// Drop selects the dropping policy; default DropAnyDifference.
+	Drop DropPolicy
+	// StaticLocality switches both good and faulty settling to static
+	// DC-partition locality (ablation).
+	StaticLocality bool
+	// FullReplay disables trajectory-guided adoption: every activated
+	// faulty circuit fully re-settles the input setting (ablation of the
+	// event-granularity optimization). Results are identical; only cost
+	// changes.
+	FullReplay bool
+	// MaxRounds overrides the solver round limit (0 = default).
+	MaxRounds int
+}
+
+// Detection describes the first detection of one fault.
+type Detection struct {
+	// Pattern and Setting locate the detecting observation.
+	Pattern, Setting int
+	Output           netlist.NodeID
+	Good, Faulty     logic.Value
+	// Hard reports both values were definite (a tester would see it).
+	Hard bool
+}
+
+// faultState carries the per-fault bookkeeping.
+type faultState struct {
+	f        fault.Fault
+	sites    []netlist.NodeID // static interest sites
+	detected bool
+	dropped  bool
+	det      Detection
+	// recs is the authoritative divergence store: the faulty circuit's
+	// state at each node where it differs from the good circuit.
+	recs map[netlist.NodeID]logic.Value
+	// oscillated notes any settle of this circuit hit the round limit.
+	oscillated bool
+}
+
+// Simulator is the concurrent fault simulator.
+type Simulator struct {
+	tab  *switchsim.Tables
+	nw   *netlist.Network
+	opts Options
+
+	good *switchsim.Circuit
+	// prev holds the good circuit's pre-step state: faulty circuits are
+	// materialized from it so their settling starts from their own
+	// previous steady state.
+	prev    *switchsim.Circuit
+	gsolve  *switchsim.Solver
+	scratch *switchsim.Circuit
+	fsolve  *switchsim.Solver
+
+	faults []*faultState
+
+	// nodeCircs[n] lists the circuits with a divergence record at n,
+	// sorted ascending: the paper's per-node state lists (the good
+	// circuit's entry is implicit: it is the good state itself).
+	nodeCircs [][]CircuitID
+	// interest[n] refcounts the circuits whose re-simulation triggers
+	// include node n.
+	interest []map[CircuitID]int32
+
+	// Scratch for per-setting scheduling.
+	touchStamp []uint32
+	touchEpoch uint32
+	touched    []netlist.NodeID
+	inputStamp []uint32
+	inputEpoch uint32
+	diffStamp  []uint32
+	diffEpoch  uint32
+
+	// intStamp marks the interest set of the circuit currently being
+	// replayed (see markInterest).
+	intStamp []uint32
+	intEpoch uint32
+
+	patternIdx int
+	settingIdx int
+
+	stats RunStats
+}
+
+// New builds a concurrent simulator over a finalized network with the
+// given fault list. The good circuit is initialized and fully settled, and
+// every fault is inserted (its initial divergence computed) before the
+// first pattern, so faults that corrupt the quiescent state are detectable
+// from pattern one.
+func New(nw *netlist.Network, faults []fault.Fault, opts Options) (*Simulator, error) {
+	if len(opts.Observe) == 0 {
+		return nil, fmt.Errorf("core: no observed outputs configured")
+	}
+	for _, o := range opts.Observe {
+		if o < 0 || int(o) >= nw.NumNodes() {
+			return nil, fmt.Errorf("core: observed node %d out of range", o)
+		}
+	}
+	tab := switchsim.NewTables(nw)
+	s := &Simulator{
+		tab:        tab,
+		nw:         nw,
+		opts:       opts,
+		good:       switchsim.NewCircuit(tab),
+		prev:       switchsim.NewCircuit(tab),
+		gsolve:     switchsim.NewSolver(tab),
+		scratch:    switchsim.NewCircuit(tab),
+		fsolve:     switchsim.NewSolver(tab),
+		nodeCircs:  make([][]CircuitID, nw.NumNodes()),
+		interest:   make([]map[CircuitID]int32, nw.NumNodes()),
+		touchStamp: make([]uint32, nw.NumNodes()),
+		inputStamp: make([]uint32, nw.NumNodes()),
+		diffStamp:  make([]uint32, nw.NumNodes()),
+		intStamp:   make([]uint32, nw.NumNodes()),
+	}
+	s.gsolve.Record = true
+	s.gsolve.StaticLocality = opts.StaticLocality
+	s.fsolve.StaticLocality = opts.StaticLocality
+	s.gsolve.MaxRounds = opts.MaxRounds
+	s.fsolve.MaxRounds = opts.MaxRounds
+
+	for _, f := range faults {
+		fs := &faultState{
+			f:     f,
+			sites: siteSet(nw, f),
+			recs:  make(map[netlist.NodeID]logic.Value),
+		}
+		s.faults = append(s.faults, fs)
+	}
+	s.stats.LiveFaults = len(s.faults)
+
+	// Register static interest and record each fault's immediate (reset
+	// state) divergence, all before initialization: defects are present
+	// from power-on.
+	for fi, fs := range s.faults {
+		ci := CircuitID(fi + 1)
+		for _, n := range fs.sites {
+			s.incInterest(n, ci)
+		}
+		s.insertFault(ci)
+	}
+	// Power-on initialization, run as a concurrent step.
+	s.initStep()
+	return s, nil
+}
+
+// siteSet computes the static interest sites of a fault: the storage
+// nodes where the faulty circuit's response can deviate from the good
+// circuit's regardless of current divergence.
+//
+// For a fault on a storage node, the node itself suffices as the channel
+// trigger: whenever the good circuit's activity reaches the node's
+// electrical neighborhood, the node is inside the explored vicinity (a
+// vicinity contains every storage node reachable through conducting
+// transistors, and a non-conducting transistor isolates the node in both
+// circuits identically). A fault on an *input* node is different: input
+// nodes are never members of vicinities, so the fault's conducting
+// neighborhood must be registered explicitly — this is what makes a
+// frozen clock line expensive (its interest spans every clocked element,
+// the paper's head-phase behavior) while a stuck memory bit stays cheap.
+func siteSet(nw *netlist.Network, f fault.Fault) []netlist.NodeID {
+	sites := f.Sites(nw)
+	if f.Kind.IsNodeFault() && nw.Node(f.Node).Kind == netlist.Input {
+		seen := make(map[netlist.NodeID]bool, len(sites)+4)
+		for _, n := range sites {
+			seen[n] = true
+		}
+		for _, t := range nw.Channel(f.Node) {
+			o := nw.Transistor(t).Other(f.Node)
+			if nw.Node(o).Kind != netlist.Input && !seen[o] {
+				seen[o] = true
+				sites = append(sites, o)
+			}
+		}
+		sort.Slice(sites, func(i, j int) bool { return sites[i] < sites[j] })
+	}
+	return sites
+}
+
+// Network returns the simulated network.
+func (s *Simulator) Network() *netlist.Network { return s.nw }
+
+// Good returns the good circuit (read-only use).
+func (s *Simulator) Good() *switchsim.Circuit { return s.good }
+
+// NumFaults returns the size of the fault list.
+func (s *Simulator) NumFaults() int { return len(s.faults) }
+
+// Fault returns the fault at index fi.
+func (s *Simulator) Fault(fi int) fault.Fault { return s.faults[fi].f }
+
+// Detected reports whether fault fi has been detected, with details.
+func (s *Simulator) Detected(fi int) (Detection, bool) {
+	return s.faults[fi].det, s.faults[fi].detected
+}
+
+// Oscillated reports whether fault fi's circuit ever hit the oscillation
+// limit.
+func (s *Simulator) Oscillated(fi int) bool { return s.faults[fi].oscillated }
+
+// LiveFaults returns the number of circuits still being simulated.
+func (s *Simulator) LiveFaults() int {
+	n := 0
+	for _, fs := range s.faults {
+		if !fs.dropped {
+			n++
+		}
+	}
+	return n
+}
+
+// Records returns a copy of the divergence records of fault fi: the faulty
+// circuit's state wherever it differs from the good circuit.
+func (s *Simulator) Records(fi int) map[netlist.NodeID]logic.Value {
+	out := make(map[netlist.NodeID]logic.Value, len(s.faults[fi].recs))
+	for n, v := range s.faults[fi].recs {
+		out[n] = v
+	}
+	return out
+}
+
+// FaultValue returns the state of node n in faulty circuit fi: the
+// divergence record if present, the good-circuit state otherwise.
+func (s *Simulator) FaultValue(fi int, n netlist.NodeID) logic.Value {
+	if v, ok := s.faults[fi].recs[n]; ok {
+		return v
+	}
+	return s.good.Value(n)
+}

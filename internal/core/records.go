@@ -1,0 +1,186 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"fmossim/internal/logic"
+	"fmossim/internal/netlist"
+)
+
+// incInterest registers circuit ci as interested in node n.
+func (s *Simulator) incInterest(n netlist.NodeID, ci CircuitID) {
+	m := s.interest[n]
+	if m == nil {
+		m = make(map[CircuitID]int32, 2)
+		s.interest[n] = m
+	}
+	m[ci]++
+}
+
+// decInterest removes one interest reference.
+func (s *Simulator) decInterest(n netlist.NodeID, ci CircuitID) {
+	m := s.interest[n]
+	if m[ci] <= 1 {
+		delete(m, ci)
+		return
+	}
+	m[ci]--
+}
+
+// recordInterestNodes visits the nodes whose interest registration follows
+// from a divergence record at n: n itself, plus the storage channel
+// terminals of every transistor gated by n (their conduction in the faulty
+// circuit differs from the good circuit while n diverges).
+func (s *Simulator) recordInterestNodes(n netlist.NodeID, visit func(netlist.NodeID)) {
+	visit(n)
+	for _, t := range s.nw.GatedBy(n) {
+		tr := s.nw.Transistor(t)
+		if s.nw.Node(tr.Source).Kind != netlist.Input {
+			visit(tr.Source)
+		}
+		if s.nw.Node(tr.Drain).Kind != netlist.Input {
+			visit(tr.Drain)
+		}
+	}
+}
+
+// setRecord inserts or updates the divergence record ⟨ci, v⟩ at node n.
+func (s *Simulator) setRecord(n netlist.NodeID, ci CircuitID, v logic.Value) {
+	fs := s.faults[ci-1]
+	if _, exists := fs.recs[n]; exists {
+		fs.recs[n] = v
+		return
+	}
+	fs.recs[n] = v
+	s.insertNodeCirc(n, ci)
+	s.recordInterestNodes(n, func(m netlist.NodeID) { s.incInterest(m, ci) })
+}
+
+// clearRecord removes the divergence record of circuit ci at node n, if
+// present.
+func (s *Simulator) clearRecord(n netlist.NodeID, ci CircuitID) {
+	fs := s.faults[ci-1]
+	if _, exists := fs.recs[n]; !exists {
+		return
+	}
+	delete(fs.recs, n)
+	s.removeNodeCirc(n, ci)
+	s.recordInterestNodes(n, func(m netlist.NodeID) { s.decInterest(m, ci) })
+}
+
+// insertNodeCirc inserts ci into node n's sorted circuit list.
+func (s *Simulator) insertNodeCirc(n netlist.NodeID, ci CircuitID) {
+	l := s.nodeCircs[n]
+	i := sort.Search(len(l), func(k int) bool { return l[k] >= ci })
+	l = append(l, 0)
+	copy(l[i+1:], l[i:])
+	l[i] = ci
+	s.nodeCircs[n] = l
+}
+
+// removeNodeCirc removes ci from node n's sorted circuit list.
+func (s *Simulator) removeNodeCirc(n netlist.NodeID, ci CircuitID) {
+	l := s.nodeCircs[n]
+	i := sort.Search(len(l), func(k int) bool { return l[k] >= ci })
+	if i < len(l) && l[i] == ci {
+		s.nodeCircs[n] = append(l[:i], l[i+1:]...)
+	}
+}
+
+// dropCircuit purges every record and interest registration of circuit ci;
+// it will never be simulated again. O(size of the circuit's state), per
+// the paper's fault dropping.
+func (s *Simulator) dropCircuit(ci CircuitID) {
+	fs := s.faults[ci-1]
+	for n := range fs.recs {
+		s.removeNodeCirc(n, ci)
+		s.recordInterestNodes(n, func(m netlist.NodeID) { s.decInterest(m, ci) })
+	}
+	fs.recs = nil
+	for _, n := range fs.sites {
+		s.decInterest(n, ci)
+	}
+	fs.dropped = true
+	s.stats.LiveFaults--
+}
+
+// CheckInvariants verifies the bidirectional consistency of the record
+// stores and the interest index; it is exported for tests and costs
+// O(faults × records), so production loops should not call it per setting.
+func (s *Simulator) CheckInvariants() error { return s.checkRecordInvariants() }
+
+// checkRecordInvariants verifies the bidirectional consistency of the
+// record stores and interest index; used by tests.
+func (s *Simulator) checkRecordInvariants() error {
+	// Every per-circuit record appears in the per-node list and vice versa.
+	for fi, fs := range s.faults {
+		ci := CircuitID(fi + 1)
+		for n := range fs.recs {
+			l := s.nodeCircs[n]
+			i := sort.Search(len(l), func(k int) bool { return l[k] >= ci })
+			if i >= len(l) || l[i] != ci {
+				return errf("record (%d,%s) missing from node list", ci, s.nw.Name(n))
+			}
+		}
+	}
+	for n := range s.nodeCircs {
+		for _, ci := range s.nodeCircs[n] {
+			fs := s.faults[ci-1]
+			if fs.dropped {
+				return errf("dropped circuit %d still on node %s", ci, s.nw.Name(netlist.NodeID(n)))
+			}
+			if _, ok := fs.recs[netlist.NodeID(n)]; !ok {
+				return errf("node list entry (%d,%s) has no record", ci, s.nw.Name(netlist.NodeID(n)))
+			}
+		}
+		if !sort.SliceIsSorted(s.nodeCircs[n], func(a, b int) bool {
+			return s.nodeCircs[n][a] < s.nodeCircs[n][b]
+		}) {
+			return errf("node %s circuit list unsorted", s.nw.Name(netlist.NodeID(n)))
+		}
+	}
+	// Interest refcounts match the independently recomputed counts.
+	want := make([]map[CircuitID]int32, s.nw.NumNodes())
+	bump := func(n netlist.NodeID, ci CircuitID) {
+		if want[n] == nil {
+			want[n] = make(map[CircuitID]int32)
+		}
+		want[n][ci]++
+	}
+	for fi, fs := range s.faults {
+		ci := CircuitID(fi + 1)
+		if fs.dropped {
+			continue
+		}
+		for _, n := range fs.sites {
+			bump(n, ci)
+		}
+		for n := range fs.recs {
+			s.recordInterestNodes(n, func(m netlist.NodeID) { bump(m, ci) })
+		}
+	}
+	for n := range s.interest {
+		for ci, count := range s.interest[n] {
+			if want[n] == nil || want[n][ci] != count {
+				return errf("interest[%s][%d]=%d, want %d", s.nw.Name(netlist.NodeID(n)), ci, count, want[n][ci])
+			}
+		}
+		if want[n] != nil {
+			for ci, count := range want[n] {
+				if s.interest[n][ci] != count {
+					return errf("interest[%s][%d]=%d, want %d", s.nw.Name(netlist.NodeID(n)), ci, s.interest[n][ci], count)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+type invariantError string
+
+func (e invariantError) Error() string { return string(e) }
+
+func errf(format string, args ...any) error {
+	return invariantError(fmt.Sprintf(format, args...))
+}

@@ -1,0 +1,132 @@
+package core
+
+import (
+	"fmt"
+	"io"
+)
+
+// SettingStats instruments one input setting.
+type SettingStats struct {
+	Pattern, Setting int
+	// ActiveCircuits is the number of faulty circuits re-simulated.
+	ActiveCircuits int
+	// LiveFaults is the number of undropped circuits after the setting.
+	LiveFaults int
+	// GoodWork/FaultWork are deterministic solver work units.
+	GoodWork, FaultWork int64
+	// GoodNS/FaultNS are wall-clock nanoseconds.
+	GoodNS, FaultNS int64
+}
+
+// PatternStats instruments one pattern (one clock cycle of settings).
+type PatternStats struct {
+	Pattern  int
+	Name     string
+	Settings int
+	// LiveBefore/LiveAfter bracket the pattern; Detected counts faults
+	// first detected during it.
+	LiveBefore, LiveAfter int
+	Detected              int
+	// MaxActive is the peak number of simultaneously re-simulated
+	// circuits in any setting of the pattern.
+	MaxActive           int
+	GoodWork, FaultWork int64
+	GoodNS, FaultNS     int64
+}
+
+// Work returns the pattern's total work units (good + faulty).
+func (p PatternStats) Work() int64 { return p.GoodWork + p.FaultWork }
+
+// NS returns the pattern's total wall-clock nanoseconds.
+func (p PatternStats) NS() int64 { return p.GoodNS + p.FaultNS }
+
+// RunStats aggregates across a run.
+type RunStats struct {
+	Patterns   int
+	LiveFaults int
+}
+
+// Result is the outcome of simulating a sequence.
+type Result struct {
+	Sequence   string
+	NumFaults  int
+	PerPattern []PatternStats
+
+	// Detected is the number of detected faults; HardDetected counts
+	// those whose first detection was definite-vs-definite.
+	Detected     int
+	HardDetected int
+	// Oscillated counts faulty circuits that ever hit the round limit.
+	Oscillated int
+
+	// Totals.
+	GoodWork, FaultWork int64
+	GoodNS, FaultNS     int64
+}
+
+func (r *Result) finish(s *Simulator) {
+	for _, ps := range r.PerPattern {
+		r.GoodWork += ps.GoodWork
+		r.FaultWork += ps.FaultWork
+		r.GoodNS += ps.GoodNS
+		r.FaultNS += ps.FaultNS
+	}
+	for _, fs := range s.faults {
+		if fs.detected {
+			r.Detected++
+			if fs.det.Hard {
+				r.HardDetected++
+			}
+		}
+		if fs.oscillated {
+			r.Oscillated++
+		}
+	}
+}
+
+// Coverage returns the fault coverage in [0,1].
+func (r *Result) Coverage() float64 {
+	if r.NumFaults == 0 {
+		return 0
+	}
+	return float64(r.Detected) / float64(r.NumFaults)
+}
+
+// TotalWork returns the run's total deterministic work units.
+func (r *Result) TotalWork() int64 { return r.GoodWork + r.FaultWork }
+
+// TotalNS returns the run's wall-clock nanoseconds.
+func (r *Result) TotalNS() int64 { return r.GoodNS + r.FaultNS }
+
+// CumulativeDetections returns, per pattern index, the total number of
+// faults detected up to and including that pattern: the rising curve of
+// the paper's Figures 1 and 2.
+func (r *Result) CumulativeDetections() []int {
+	out := make([]int, len(r.PerPattern))
+	c := 0
+	for i, ps := range r.PerPattern {
+		c += ps.Detected
+		out[i] = c
+	}
+	return out
+}
+
+// WorkPerPattern returns per-pattern total work units: the falling curve
+// of Figures 1 and 2.
+func (r *Result) WorkPerPattern() []int64 {
+	out := make([]int64, len(r.PerPattern))
+	for i, ps := range r.PerPattern {
+		out[i] = ps.Work()
+	}
+	return out
+}
+
+// Summary writes a human-readable run summary.
+func (r *Result) Summary(w io.Writer) {
+	fmt.Fprintf(w, "sequence %q: %d patterns, %d faults\n", r.Sequence, len(r.PerPattern), r.NumFaults)
+	fmt.Fprintf(w, "  detected: %d (%.1f%%), hard %d, oscillated %d\n",
+		r.Detected, 100*r.Coverage(), r.HardDetected, r.Oscillated)
+	fmt.Fprintf(w, "  work: good %d + faulty %d = %d units\n", r.GoodWork, r.FaultWork, r.TotalWork())
+	fmt.Fprintf(w, "  time: good %.3fs + faulty %.3fs = %.3fs\n",
+		float64(r.GoodNS)/1e9, float64(r.FaultNS)/1e9, float64(r.TotalNS())/1e9)
+}

@@ -1,0 +1,377 @@
+package core
+
+import (
+	"sort"
+	"time"
+
+	"fmossim/internal/netlist"
+	"fmossim/internal/switchsim"
+)
+
+// insertFault records the immediate divergence a fault forces before any
+// settling: a forced node whose pinned value differs from the good
+// circuit's reset value. Transistor pins change no node values by
+// themselves, so they create no insertion records; their effects appear
+// during the initialization settle, which runs as a regular concurrent
+// step so that fault insertion happens *before* initialization — a
+// manufacturing defect is present from power-on, exactly as in the serial
+// reference simulation.
+func (s *Simulator) insertFault(ci CircuitID) {
+	fs := s.faults[ci-1]
+	if !fs.f.Kind.IsNodeFault() {
+		return
+	}
+	s.scratch.CopyStateFrom(s.good)
+	s.scratch.ClearFaults()
+	fs.f.Apply(s.scratch)
+	s.diffEpoch++
+	s.diffInto(ci, []netlist.NodeID{fs.f.Node})
+}
+
+// diffInto compares the scratch (faulty) state against the good state over
+// the given nodes and updates circuit ci's records. Nodes already diffed
+// this epoch are skipped. Input nodes are diffed too: a forced (faulted)
+// input diverges from the good circuit's input value.
+func (s *Simulator) diffInto(ci CircuitID, nodes []netlist.NodeID) {
+	for _, n := range nodes {
+		if s.diffStamp[n] == s.diffEpoch {
+			continue
+		}
+		s.diffStamp[n] = s.diffEpoch
+		fv := s.scratch.Value(n)
+		if fv != s.good.Value(n) {
+			s.setRecord(n, ci, fv)
+		} else {
+			s.clearRecord(n, ci)
+		}
+	}
+}
+
+// touch stamps node n into the touched region of the current setting.
+func (s *Simulator) touch(n netlist.NodeID) {
+	if s.touchStamp[n] != s.touchEpoch {
+		s.touchStamp[n] = s.touchEpoch
+		s.touched = append(s.touched, n)
+	}
+}
+
+// initStep runs the power-on initialization as a concurrent step: the good
+// circuit settles from its reset state with every storage node perturbed,
+// and every faulty circuit does the same against its own (faulted) view of
+// the reset state — the concurrent counterpart of the serial reference's
+// reset + inject + settle-all.
+func (s *Simulator) initStep() {
+	s.prev.CopyStateFrom(s.good) // reset state is the pre-step state
+	res := s.gsolve.SettleAll(s.good)
+
+	all := make([]netlist.NodeID, 0, s.nw.NumNodes())
+	for i := 0; i < s.nw.NumNodes(); i++ {
+		n := netlist.NodeID(i)
+		if s.nw.Node(n).Kind != netlist.Input {
+			all = append(all, n)
+		}
+	}
+	for fi := range s.faults {
+		s.stepFaulty(CircuitID(fi+1), nil, all, nil, res.Changed)
+	}
+}
+
+// StepSetting advances every live circuit through one input setting: the
+// good circuit first, then each activated faulty circuit in ascending
+// circuit-id order (the paper's circuit-by-circuit event processing).
+// Returns per-setting statistics.
+func (s *Simulator) StepSetting(setting switchsim.Setting) SettingStats {
+	t0 := time.Now()
+	w0 := s.gsolve.Work()
+	s.touchEpoch++
+	s.touched = s.touched[:0]
+
+	// The conservative trigger neighborhood of the input changes: storage
+	// nodes adjacent to a changing input through ANY transistor (a faulty
+	// circuit may conduct where the good circuit does not), plus the
+	// channel terminals of transistors the input gates.
+	s.inputEpoch++
+	for _, a := range setting {
+		if s.good.Value(a.Node) == a.Value {
+			continue
+		}
+		s.inputStamp[a.Node] = s.inputEpoch
+		for _, t := range s.nw.Channel(a.Node) {
+			o := s.nw.Transistor(t).Other(a.Node)
+			if s.nw.Node(o).Kind != netlist.Input {
+				s.touch(o)
+			}
+		}
+		for _, t := range s.nw.GatedBy(a.Node) {
+			tr := s.nw.Transistor(t)
+			if s.nw.Node(tr.Source).Kind != netlist.Input {
+				s.touch(tr.Source)
+			}
+			if s.nw.Node(tr.Drain).Kind != netlist.Input {
+				s.touch(tr.Drain)
+			}
+		}
+	}
+
+	// 1. Snapshot the pre-step state, then simulate the good circuit,
+	// recording its settling trajectory. Faulty circuits are materialized
+	// from the pre-step state: their settle must start from their own
+	// previous steady state, not from values the good circuit has already
+	// adopted this step.
+	s.prev.CopyStateFrom(s.good)
+	goodSeeds := s.gsolve.ApplySetting(s.good, setting)
+	res := s.gsolve.Settle(s.good, goodSeeds)
+	for _, n := range res.Explored {
+		s.touch(n)
+	}
+	traj := s.gsolve.Traj
+	if res.Oscillated || s.opts.FullReplay {
+		// X-resolution makes the trajectory unreliable as an oracle;
+		// fall back to full replays this step (also the FullReplay
+		// ablation's path).
+		traj = nil
+	}
+	goodWork := s.gsolve.Work().Sub(w0).Units()
+	goodNS := time.Since(t0).Nanoseconds()
+
+	// 2+3. Schedule and simulate the activated faulty circuits.
+	tf := time.Now()
+	wf0 := s.fsolve.Work()
+	nActive := s.simulateActivated(setting, traj, res.Changed)
+	faultWork := s.fsolve.Work().Sub(wf0).Units()
+	faultNS := time.Since(tf).Nanoseconds()
+
+	st := SettingStats{
+		Pattern:        s.patternIdx,
+		Setting:        s.settingIdx,
+		ActiveCircuits: nActive,
+		LiveFaults:     s.stats.LiveFaults,
+		GoodWork:       goodWork,
+		FaultWork:      faultWork,
+		GoodNS:         goodNS,
+		FaultNS:        faultNS,
+	}
+	s.settingIdx++
+	return st
+}
+
+// simulateActivated schedules every live circuit whose interest set
+// intersects the touched region and re-simulates each: against the good
+// trajectory when one is available (adopting identical regions, solving
+// divergent ones — see switchsim.SettleReplay), or by a full replay of
+// the setting otherwise. Returns the number of activated circuits.
+func (s *Simulator) simulateActivated(setting switchsim.Setting, traj switchsim.Trajectory, goodChanged []netlist.NodeID) int {
+	activeSet := make(map[CircuitID]bool)
+	for _, n := range s.touched {
+		for ci := range s.interest[n] {
+			activeSet[ci] = true
+		}
+	}
+	active := make([]CircuitID, 0, len(activeSet))
+	for ci := range activeSet {
+		if fs := s.faults[ci-1]; !fs.dropped && !s.faultInert(fs) {
+			active = append(active, ci)
+		}
+	}
+	sort.Slice(active, func(i, j int) bool { return active[i] < active[j] })
+	for _, ci := range active {
+		s.stepFaulty(ci, setting, nil, traj, goodChanged)
+	}
+	return len(active)
+}
+
+// markInterest stamps the interest set of circuit ci and returns the
+// membership test used by the trajectory replay.
+func (s *Simulator) markInterest(ci CircuitID) func(netlist.NodeID) bool {
+	s.intEpoch++
+	fs := s.faults[ci-1]
+	mark := func(n netlist.NodeID) { s.intStamp[n] = s.intEpoch }
+	for n := range fs.recs {
+		s.recordInterestNodes(n, mark)
+	}
+	for _, n := range fs.sites {
+		mark(n)
+	}
+	return func(n netlist.NodeID) bool { return s.intStamp[n] == s.intEpoch }
+}
+
+// faultInert reports whether a divergence-free circuit provably cannot
+// deviate from the good circuit this step, so its activation may be
+// skipped. A transistor fault is inert when the good transistor's state
+// equals the pinned state and its gate was untouched the whole step (the
+// two circuits had identical switch states throughout); a node fault is
+// inert when the good node holds the forced value and was untouched (same
+// value, and no vicinity involving the node was computed). This filter is
+// what keeps a latent stuck memory bit from being re-simulated every time
+// its (isolated) write bit line swings — the locality the paper's tail
+// phase depends on.
+func (s *Simulator) faultInert(fs *faultState) bool {
+	if len(fs.recs) > 0 {
+		return false
+	}
+	if pin, ok := fs.f.PinnedState(); ok {
+		t := fs.f.Trans
+		gate := s.nw.Transistor(t).Gate
+		return !s.wasTouched(gate) && s.good.TransState(t) == pin
+	}
+	forced, _ := fs.f.ForcedState()
+	return !s.wasTouched(fs.f.Node) && s.good.Value(fs.f.Node) == forced
+}
+
+// wasTouched reports whether node n was touched this step: explored by
+// the good settle, in the input-change neighborhood, or (for inputs) the
+// changed input itself.
+func (s *Simulator) wasTouched(n netlist.NodeID) bool {
+	if s.nw.Node(n).Kind == netlist.Input {
+		return s.inputStamp[n] == s.inputEpoch
+	}
+	return s.touchStamp[n] == s.touchEpoch
+}
+
+// stepFaulty re-simulates faulty circuit ci for the current setting: a
+// serial-fidelity replay of the setting against the circuit's own
+// pre-step state. The perturbation seeds are exactly those a standalone
+// serial simulation would use — the circuit's own response to the input
+// setting — so the replay's event order, and therefore every
+// transient-sensitive charge state, matches a serial simulation
+// bit-for-bit. The scheduler's interest hits decide only *whether* the
+// circuit runs, never what it re-solves: extra seeds would re-solve
+// vicinities at the wrong point in the wave and capture transients a
+// serial simulation never produces.
+func (s *Simulator) stepFaulty(ci CircuitID, setting switchsim.Setting, extraSeeds []netlist.NodeID, traj switchsim.Trajectory, goodChanged []netlist.NodeID) {
+	fs := s.faults[ci-1]
+
+	// Materialize the faulty circuit's pre-step view: the good circuit's
+	// pre-step state overlaid with the divergence records, transistor
+	// states fixed up for divergent gates, and the fault pin applied.
+	// Re-applying the fault is a materialization fix-up (the copied
+	// transistor states are the good circuit's), not a perturbation, so
+	// its seeds are discarded.
+	s.scratch.CopyStateFrom(s.prev)
+	s.scratch.ClearFaults()
+	for n, v := range fs.recs {
+		s.scratch.OverrideValue(n, v)
+	}
+	for n := range fs.recs {
+		s.scratch.RefreshGates(n)
+	}
+	fs.f.Apply(s.scratch)
+
+	seeds := extraSeeds
+	if setting != nil {
+		seeds = append(seeds, s.fsolve.ApplySetting(s.scratch, setting)...)
+	}
+
+	var res switchsim.SettleResult
+	if traj != nil {
+		res = s.fsolve.SettleReplay(s.scratch, seeds, traj, s.markInterest(ci))
+	} else {
+		res = s.fsolve.Settle(s.scratch, seeds)
+	}
+	if res.Oscillated {
+		fs.oscillated = true
+	}
+
+	// Write back: the faulty state may now differ from the good post-step
+	// state anywhere the faulty settle explored, anywhere the good
+	// circuit changed (divergence by inaction: the faulty circuit's wave
+	// was blocked where the good circuit's was not), and at the forced
+	// node; update records accordingly.
+	s.diffEpoch++
+	s.diffInto(ci, res.Explored)
+	s.diffInto(ci, goodChanged)
+	if fs.f.Kind.IsNodeFault() {
+		s.diffInto(ci, []netlist.NodeID{fs.f.Node})
+	}
+}
+
+// observe compares every observed output of every circuit holding a
+// divergence record there against the good circuit, recording detections
+// and dropping circuits per the policy. Only circuits that actually
+// diverge at an output are examined — the paper's reason for keeping
+// per-node state lists.
+func (s *Simulator) observe() []int {
+	var detectedNow []int
+	for _, o := range s.opts.Observe {
+		gv := s.good.Value(o)
+		// Iterate over a copy: drops mutate the list.
+		circs := s.nodeCircs[o]
+		if len(circs) == 0 {
+			continue
+		}
+		tmp := make([]CircuitID, len(circs))
+		copy(tmp, circs)
+		for _, ci := range tmp {
+			fs := s.faults[ci-1]
+			if fs.dropped {
+				continue // dropped at an earlier output this observation
+			}
+			fv := fs.recs[o]
+			if fv == gv {
+				continue // defensive: records should always differ
+			}
+			hard := gv.Definite() && fv.Definite()
+			// Under DropHardOnly, an X-vs-definite difference is only a
+			// potential detection and does not count; otherwise any
+			// difference detects, per the paper.
+			counts := hard || s.opts.Drop != DropHardOnly
+			if counts && !fs.detected {
+				fs.det = Detection{
+					Pattern: s.patternIdx, Setting: s.settingIdx - 1,
+					Output: o, Good: gv, Faulty: fv, Hard: hard,
+				}
+				fs.detected = true
+				detectedNow = append(detectedNow, int(ci-1))
+			}
+			drop := false
+			switch s.opts.Drop {
+			case DropAnyDifference:
+				drop = true
+			case DropHardOnly:
+				drop = hard
+			case NeverDrop:
+			}
+			if drop {
+				s.dropCircuit(ci)
+			}
+		}
+	}
+	return detectedNow
+}
+
+// RunPattern advances the simulation through one pattern: all of its
+// settings, observing outputs per the pattern's observation points.
+// Returns the pattern's statistics.
+func (s *Simulator) RunPattern(p *switchsim.Pattern) PatternStats {
+	ps := PatternStats{Pattern: s.patternIdx, Name: p.Name, LiveBefore: s.stats.LiveFaults}
+	s.settingIdx = 0
+	for i := range p.Settings {
+		st := s.StepSetting(p.Settings[i])
+		ps.GoodWork += st.GoodWork
+		ps.FaultWork += st.FaultWork
+		ps.GoodNS += st.GoodNS
+		ps.FaultNS += st.FaultNS
+		if st.ActiveCircuits > ps.MaxActive {
+			ps.MaxActive = st.ActiveCircuits
+		}
+		ps.Settings++
+		if p.ObserveAt(i) {
+			ps.Detected += len(s.observe())
+		}
+	}
+	ps.LiveAfter = s.stats.LiveFaults
+	s.patternIdx++
+	s.stats.Patterns++
+	return ps
+}
+
+// Run simulates an entire test sequence, returning the aggregated result.
+func (s *Simulator) Run(seq *switchsim.Sequence) *Result {
+	r := &Result{Sequence: seq.Name, NumFaults: len(s.faults)}
+	for i := range seq.Patterns {
+		ps := s.RunPattern(&seq.Patterns[i])
+		r.PerPattern = append(r.PerPattern, ps)
+	}
+	r.finish(s)
+	return r
+}

@@ -1,0 +1,129 @@
+package fault
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"fmossim/internal/netlist"
+)
+
+// The fault-list text format, one fault per line:
+//
+//	node NAME sa0|sa1|sax
+//	trans INDEX open|closed
+//	short INDEX           (INDEX of a bridge-candidate transistor)
+//	open INDEX            (INDEX of a breakable-wire transistor)
+//	| comment
+//
+// Transistors are addressed by index because labels are optional and not
+// necessarily unique; cmd/faultgen emits indexes alongside labels.
+
+// WriteList emits faults in the text format.
+func WriteList(w io.Writer, nw *netlist.Network, fs []Fault) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "| %d faults\n", len(fs))
+	for _, f := range fs {
+		switch {
+		case f.Kind.IsNodeFault():
+			fmt.Fprintf(bw, "node %s %s\n", nw.Name(f.Node), f.Kind)
+		case f.Kind == TransStuckOpen:
+			fmt.Fprintf(bw, "trans %d open | %s\n", f.Trans, f.Describe(nw))
+		case f.Kind == TransStuckClosed:
+			fmt.Fprintf(bw, "trans %d closed | %s\n", f.Trans, f.Describe(nw))
+		case f.Kind == Bridge:
+			fmt.Fprintf(bw, "short %d | %s\n", f.Trans, f.Describe(nw))
+		case f.Kind == Open:
+			fmt.Fprintf(bw, "open %d | %s\n", f.Trans, f.Describe(nw))
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadList parses the text format.
+func ReadList(r io.Reader, nw *netlist.Network) ([]Fault, error) {
+	sc := bufio.NewScanner(r)
+	var fs []Fault
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if i := strings.IndexByte(line, '|'); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		fields := strings.Fields(line)
+		fail := func(format string, args ...any) error {
+			return fmt.Errorf("fault list line %d: %s", lineNo, fmt.Sprintf(format, args...))
+		}
+		parseTrans := func(s string) (netlist.TransID, error) {
+			i, err := strconv.Atoi(s)
+			if err != nil || i < 0 || i >= nw.NumTransistors() {
+				return netlist.NoTrans, fail("bad transistor index %q", s)
+			}
+			return netlist.TransID(i), nil
+		}
+		switch fields[0] {
+		case "node":
+			if len(fields) != 3 {
+				return nil, fail("node wants NAME KIND")
+			}
+			n := nw.Lookup(fields[1])
+			if n == netlist.NoNode {
+				return nil, fail("unknown node %q", fields[1])
+			}
+			var k Kind
+			switch fields[2] {
+			case "sa0":
+				k = NodeStuck0
+			case "sa1":
+				k = NodeStuck1
+			case "sax":
+				k = NodeStuckX
+			default:
+				return nil, fail("unknown node fault kind %q", fields[2])
+			}
+			fs = append(fs, Fault{Kind: k, Node: n})
+		case "trans":
+			if len(fields) != 3 {
+				return nil, fail("trans wants INDEX open|closed")
+			}
+			t, err := parseTrans(fields[1])
+			if err != nil {
+				return nil, err
+			}
+			switch fields[2] {
+			case "open":
+				fs = append(fs, Fault{Kind: TransStuckOpen, Trans: t})
+			case "closed":
+				fs = append(fs, Fault{Kind: TransStuckClosed, Trans: t})
+			default:
+				return nil, fail("unknown transistor fault kind %q", fields[2])
+			}
+		case "short", "open":
+			if len(fields) != 2 {
+				return nil, fail("%s wants INDEX", fields[0])
+			}
+			t, err := parseTrans(fields[1])
+			if err != nil {
+				return nil, err
+			}
+			k := Bridge
+			if fields[0] == "open" {
+				k = Open
+			}
+			fs = append(fs, Fault{Kind: k, Trans: t})
+		default:
+			return nil, fail("unknown fault declaration %q", fields[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return fs, nil
+}

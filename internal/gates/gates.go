@@ -1,0 +1,215 @@
+// Package gates is a cell library of common nMOS and CMOS structures
+// expressed as switch-level subnetworks: ratioed inverters and gates with
+// depletion loads, complementary CMOS gates, pass-transistor logic,
+// dynamic latches, and precharge devices. It is the substrate from which
+// the RAM circuits and the examples are generated.
+//
+// All constructors take a netlist.Builder and wire existing nodes; they
+// create internal nodes with names derived from the given prefix.
+package gates
+
+import (
+	"fmt"
+
+	"fmossim/internal/logic"
+	"fmossim/internal/netlist"
+)
+
+// NInv builds an nMOS ratioed inverter: a depletion pull-up load on out
+// and an n-type pull-down gated by in. The pull-down uses the default
+// (strong) class so it overpowers the weak load, as ratioed logic
+// requires.
+func NInv(b *netlist.Builder, in, out netlist.NodeID, prefix string) {
+	b.Load(out, prefix+".load")
+	b.N(in, out, b.Gnd, prefix+".pd")
+}
+
+// NNand builds an nMOS NAND of the given inputs: a series pull-down chain
+// under a depletion load.
+func NNand(b *netlist.Builder, out netlist.NodeID, prefix string, in ...netlist.NodeID) {
+	if len(in) == 0 {
+		panic("gates: NNand needs at least one input")
+	}
+	b.Load(out, prefix+".load")
+	prev := out
+	for i, g := range in {
+		var next netlist.NodeID
+		if i == len(in)-1 {
+			next = b.Gnd
+		} else {
+			next = b.Node(fmt.Sprintf("%s.s%d", prefix, i))
+		}
+		b.N(g, prev, next, fmt.Sprintf("%s.pd%d", prefix, i))
+		prev = next
+	}
+}
+
+// NNor builds an nMOS NOR of the given inputs: parallel pull-downs under a
+// depletion load.
+func NNor(b *netlist.Builder, out netlist.NodeID, prefix string, in ...netlist.NodeID) {
+	if len(in) == 0 {
+		panic("gates: NNor needs at least one input")
+	}
+	b.Load(out, prefix+".load")
+	for i, g := range in {
+		b.N(g, out, b.Gnd, fmt.Sprintf("%s.pd%d", prefix, i))
+	}
+}
+
+// CInv builds a complementary CMOS inverter.
+func CInv(b *netlist.Builder, in, out netlist.NodeID, prefix string) {
+	b.P(in, b.Vdd, out, prefix+".pu")
+	b.N(in, out, b.Gnd, prefix+".pd")
+}
+
+// CNand builds a complementary CMOS NAND: parallel p pull-ups, series n
+// pull-downs.
+func CNand(b *netlist.Builder, out netlist.NodeID, prefix string, in ...netlist.NodeID) {
+	if len(in) == 0 {
+		panic("gates: CNand needs at least one input")
+	}
+	for i, g := range in {
+		b.P(g, b.Vdd, out, fmt.Sprintf("%s.pu%d", prefix, i))
+	}
+	prev := out
+	for i, g := range in {
+		var next netlist.NodeID
+		if i == len(in)-1 {
+			next = b.Gnd
+		} else {
+			next = b.Node(fmt.Sprintf("%s.s%d", prefix, i))
+		}
+		b.N(g, prev, next, fmt.Sprintf("%s.pd%d", prefix, i))
+		prev = next
+	}
+}
+
+// CNor builds a complementary CMOS NOR: series p pull-ups, parallel n
+// pull-downs.
+func CNor(b *netlist.Builder, out netlist.NodeID, prefix string, in ...netlist.NodeID) {
+	if len(in) == 0 {
+		panic("gates: CNor needs at least one input")
+	}
+	prev := b.Vdd
+	for i, g := range in {
+		var next netlist.NodeID
+		if i == len(in)-1 {
+			next = out
+		} else {
+			next = b.Node(fmt.Sprintf("%s.s%d", prefix, i))
+		}
+		b.P(g, prev, next, fmt.Sprintf("%s.pu%d", prefix, i))
+		prev = next
+	}
+	for i, g := range in {
+		b.N(g, out, b.Gnd, fmt.Sprintf("%s.pd%d", prefix, i))
+	}
+}
+
+// PassN connects a and bb through an n-type pass transistor gated by en.
+func PassN(b *netlist.Builder, en, x, y netlist.NodeID, label string) netlist.TransID {
+	return b.N(en, x, y, label)
+}
+
+// TGate connects x and y through a CMOS transmission gate: an n-device
+// gated by en in parallel with a p-device gated by enBar.
+func TGate(b *netlist.Builder, en, enBar, x, y netlist.NodeID, prefix string) {
+	b.N(en, x, y, prefix+".n")
+	b.P(enBar, x, y, prefix+".p")
+}
+
+// DynLatch builds a dynamic latch: a pass transistor gated by clk writes
+// the storage node, whose value an inverter restores onto out (inverted).
+// The storage node is returned so faults can target it.
+func DynLatch(b *netlist.Builder, clk, in, out netlist.NodeID, prefix string, cmos bool) netlist.NodeID {
+	store := b.Node(prefix + ".store")
+	b.N(clk, in, store, prefix+".pass")
+	if cmos {
+		CInv(b, store, out, prefix+".inv")
+	} else {
+		NInv(b, store, out, prefix+".inv")
+	}
+	return store
+}
+
+// Precharge adds an n-type device from Vdd to node n gated by clk: the
+// standard precharge for nMOS dynamic busses (the switch-level model does
+// not represent threshold drops).
+func Precharge(b *netlist.Builder, clk, n netlist.NodeID, label string) netlist.TransID {
+	return b.N(clk, b.Vdd, n, label)
+}
+
+// Pulldown adds an n-type device from node n to Gnd gated by en.
+func Pulldown(b *netlist.Builder, en, n netlist.NodeID, label string) netlist.TransID {
+	return b.N(en, n, b.Gnd, label)
+}
+
+// NBuf builds a two-stage nMOS buffer (two inverters) from in to out,
+// creating the intermediate node.
+func NBuf(b *netlist.Builder, in, out netlist.NodeID, prefix string) {
+	mid := b.Node(prefix + ".mid")
+	NInv(b, in, mid, prefix+".i0")
+	NInv(b, mid, out, prefix+".i1")
+}
+
+// InvPair builds an inverter pair producing both polarities of in:
+// notOut = ¬in, bufOut = in (restored). Used for address true/complement
+// generation in decoders.
+func InvPair(b *netlist.Builder, in, notOut, bufOut netlist.NodeID, prefix string, cmos bool) {
+	if cmos {
+		CInv(b, in, notOut, prefix+".n")
+		CInv(b, notOut, bufOut, prefix+".b")
+	} else {
+		NInv(b, in, notOut, prefix+".n")
+		NInv(b, notOut, bufOut, prefix+".b")
+	}
+}
+
+// Decoder builds an nMOS NOR decoder: for each of 2^len(addr) output
+// lines, a NOR over the address bits (true or complement per the line
+// index) so exactly the addressed line is high. addrBar must hold the
+// complements. Output line i is created as "<prefix>.out<i>" and returned.
+func Decoder(b *netlist.Builder, addr, addrBar []netlist.NodeID, prefix string) []netlist.NodeID {
+	if len(addr) != len(addrBar) {
+		panic("gates: Decoder address/complement length mismatch")
+	}
+	n := 1 << len(addr)
+	outs := make([]netlist.NodeID, n)
+	for i := 0; i < n; i++ {
+		out := b.Node(fmt.Sprintf("%s.out%d", prefix, i))
+		outs[i] = out
+		// NOR over the bits that must be 0 for this line: for line i,
+		// bit k must equal (i>>k)&1, so the NOR input is the bit's
+		// complement-of-required polarity.
+		ins := make([]netlist.NodeID, len(addr))
+		for k := range addr {
+			if (i>>k)&1 == 1 {
+				ins[k] = addrBar[k] // required 1: NOR sees the complement
+			} else {
+				ins[k] = addr[k] // required 0: NOR sees the true line
+			}
+		}
+		NNor(b, out, fmt.Sprintf("%s.nor%d", prefix, i), ins...)
+	}
+	return outs
+}
+
+// EnableAll gates each line through an n-type pass device controlled by
+// en, producing gated copies; used for clocked decoder outputs. The gated
+// line nodes are created as "<prefix>.g<i>".
+func EnableAll(b *netlist.Builder, en netlist.NodeID, lines []netlist.NodeID, prefix string) []netlist.NodeID {
+	outs := make([]netlist.NodeID, len(lines))
+	for i, ln := range lines {
+		g := b.Node(fmt.Sprintf("%s.g%d", prefix, i))
+		b.N(en, ln, g, fmt.Sprintf("%s.pass%d", prefix, i))
+		outs[i] = g
+	}
+	return outs
+}
+
+// Value helpers for tests.
+var (
+	L  = logic.Lo
+	H  = logic.Hi
+	Xv = logic.X
+)

@@ -1,0 +1,158 @@
+package gates_test
+
+import (
+	"testing"
+
+	"fmossim/internal/gates"
+	"fmossim/internal/logic"
+	"fmossim/internal/netlist"
+	"fmossim/internal/switchsim"
+)
+
+const (
+	L = logic.Lo
+	H = logic.Hi
+	X = logic.X
+)
+
+func newB() *netlist.Builder {
+	return netlist.NewBuilder(logic.Scale{Sizes: 2, Strengths: 2})
+}
+
+func TestTGate(t *testing.T) {
+	b := newB()
+	en := b.Input("en", L)
+	enB := b.Input("enb", H)
+	din := b.Input("din", L)
+	x := b.Node("x")
+	y := b.Node("y")
+	b.N(b.TieHi(), din, x, "drv")
+	gates.TGate(b, en, enB, x, y, "tg")
+	sim := switchsim.NewSimulator(b.Finalize())
+
+	sim.MustSet(map[string]logic.Value{"din": H})
+	if got := sim.Value("y"); got != X {
+		t.Errorf("closed t-gate should isolate: y=%s, want X (uninit charge)", got)
+	}
+	sim.MustSet(map[string]logic.Value{"en": H, "enb": L})
+	if got := sim.Value("y"); got != H {
+		t.Errorf("open t-gate should conduct: y=%s, want 1", got)
+	}
+	// A transmission gate passes both polarities without degradation.
+	sim.MustSet(map[string]logic.Value{"din": L})
+	if got := sim.Value("y"); got != L {
+		t.Errorf("t-gate should pass 0: y=%s", got)
+	}
+}
+
+func TestNBufRestoresPolarity(t *testing.T) {
+	b := newB()
+	in := b.Input("in", L)
+	out := b.Node("out")
+	gates.NBuf(b, in, out, "buf")
+	sim := switchsim.NewSimulator(b.Finalize())
+	for _, v := range []logic.Value{L, H, X} {
+		sim.MustSet(map[string]logic.Value{"in": v})
+		if got := sim.Value("out"); got != v {
+			t.Errorf("buf(%s) = %s, want %s", v, got, v)
+		}
+	}
+}
+
+func TestInvPair(t *testing.T) {
+	for _, cmos := range []bool{false, true} {
+		b := newB()
+		in := b.Input("in", L)
+		notOut := b.Node("n")
+		bufOut := b.Node("t")
+		gates.InvPair(b, in, notOut, bufOut, "p", cmos)
+		sim := switchsim.NewSimulator(b.Finalize())
+		sim.MustSet(map[string]logic.Value{"in": H})
+		if sim.Value("n") != L || sim.Value("t") != H {
+			t.Errorf("cmos=%v: InvPair(1) = %s/%s, want 0/1", cmos, sim.Value("n"), sim.Value("t"))
+		}
+		sim.MustSet(map[string]logic.Value{"in": L})
+		if sim.Value("n") != H || sim.Value("t") != L {
+			t.Errorf("cmos=%v: InvPair(0) = %s/%s, want 1/0", cmos, sim.Value("n"), sim.Value("t"))
+		}
+	}
+}
+
+func TestDecoderWithEnable(t *testing.T) {
+	b := newB()
+	var addr, addrBar []netlist.NodeID
+	for i := 0; i < 2; i++ {
+		in := b.Input([]string{"a0", "a1"}[i], L)
+		nb := b.Node([]string{"a0b", "a1b"}[i])
+		bf := b.Node([]string{"a0t", "a1t"}[i])
+		gates.InvPair(b, in, nb, bf, []string{"p0", "p1"}[i], false)
+		addr, addrBar = append(addr, bf), append(addrBar, nb)
+	}
+	lines := gates.Decoder(b, addr, addrBar, "dec")
+	en := b.Input("en", L)
+	gated := gates.EnableAll(b, en, lines, "g")
+	sim := switchsim.NewSimulator(b.Finalize())
+
+	sim.MustSet(map[string]logic.Value{"a0": H, "a1": L, "en": H})
+	for i, g := range gated {
+		want := L
+		if i == 1 {
+			want = H
+		}
+		if got := sim.Circuit.Value(g); got != want {
+			t.Errorf("gated line %d = %s, want %s", i, got, want)
+		}
+	}
+	// Disable: gated lines float (keep charge), raw lines still decode.
+	sim.MustSet(map[string]logic.Value{"en": L, "a0": L})
+	if got := sim.Circuit.Value(gated[1]); got != H {
+		t.Errorf("disabled gated line should hold charge: %s", got)
+	}
+	if got := sim.Circuit.Value(lines[0]); got != H {
+		t.Errorf("raw line 0 should now decode high: %s", got)
+	}
+}
+
+func TestPanicsOnEmptyInputs(t *testing.T) {
+	b := newB()
+	out := b.Node("out")
+	for name, f := range map[string]func(){
+		"NNand": func() { gates.NNand(b, out, "x") },
+		"NNor":  func() { gates.NNor(b, out, "x") },
+		"CNand": func() { gates.CNand(b, out, "x") },
+		"CNor":  func() { gates.CNor(b, out, "x") },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s with no inputs should panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Decoder length mismatch should panic")
+		}
+	}()
+	gates.Decoder(b, []netlist.NodeID{out}, nil, "d")
+}
+
+func TestPassN(t *testing.T) {
+	b := newB()
+	en := b.Input("en", H)
+	src := b.Input("src", H)
+	dst := b.Node("dst")
+	id := gates.PassN(b, en, src, dst, "pass")
+	nw := b.Finalize()
+	tr := nw.Transistor(id)
+	if tr.Type != logic.NType || tr.Gate != en {
+		t.Error("PassN should build an n-device gated by en")
+	}
+	sim := switchsim.NewSimulator(nw)
+	sim.Init()
+	if got := sim.Value("dst"); got != H {
+		t.Errorf("pass transistor should conduct: dst=%s", got)
+	}
+}

@@ -1,0 +1,257 @@
+// Package logic defines the ternary value system and the signal-strength
+// lattice of Bryant's switch-level model (MOSSIM II), as used by FMOSSIM.
+//
+// Node and transistor states are ternary: 0, 1, or X, where X is an
+// indeterminate value arising from uninitialized nodes, short circuits, or
+// improper charge sharing. Signals carry a discrete strength drawn from a
+// single ordered scale:
+//
+//	κ1 < κ2 < … < κk  <  γ1 < γ2 < … < γm  <  ω
+//
+// where the κi are storage-node sizes (charge strengths), the γj are
+// transistor strengths (drive strengths), and ω is the strength of an input
+// node (a voltage source). A signal of strength s passing through a
+// conducting transistor of strength γ continues with strength min(s, γ):
+// drive signals attenuate to the weakest transistor on the path, while
+// charge signals (κ < γ always) pass unattenuated.
+package logic
+
+import "fmt"
+
+// Value is a ternary logic value.
+type Value uint8
+
+const (
+	// Lo is the logic-0 (low-voltage) state.
+	Lo Value = iota
+	// Hi is the logic-1 (high-voltage) state.
+	Hi
+	// X is the indeterminate state: an unknown voltage between (and
+	// including) low and high.
+	X
+)
+
+// String returns "0", "1", or "X".
+func (v Value) String() string {
+	switch v {
+	case Lo:
+		return "0"
+	case Hi:
+		return "1"
+	case X:
+		return "X"
+	}
+	return fmt.Sprintf("Value(%d)", uint8(v))
+}
+
+// Valid reports whether v is one of Lo, Hi, X.
+func (v Value) Valid() bool { return v <= X }
+
+// Definite reports whether v is a definite binary value (0 or 1).
+func (v Value) Definite() bool { return v == Lo || v == Hi }
+
+// Not returns the ternary complement: ¬0 = 1, ¬1 = 0, ¬X = X.
+func (v Value) Not() Value {
+	switch v {
+	case Lo:
+		return Hi
+	case Hi:
+		return Lo
+	}
+	return X
+}
+
+// Lub returns the least upper bound of two values in the information
+// ordering: combining equal values yields that value; combining 0 with 1,
+// or anything with X, yields X. This is the resolution applied when two
+// signals of equal strength but different values meet at a node.
+func Lub(a, b Value) Value {
+	if a == b {
+		return a
+	}
+	return X
+}
+
+// Covers reports whether a "covers" b in the information ordering, i.e.
+// a = b or a = X. A correct ternary simulation step must produce values
+// that cover every binary resolution of its X inputs.
+func Covers(a, b Value) bool { return a == b || a == X }
+
+// ParseValue parses "0", "1", "x" or "X" into a Value.
+func ParseValue(s string) (Value, error) {
+	switch s {
+	case "0":
+		return Lo, nil
+	case "1":
+		return Hi, nil
+	case "x", "X":
+		return X, nil
+	}
+	return X, fmt.Errorf("logic: invalid value %q (want 0, 1, or X)", s)
+}
+
+// TransistorType distinguishes the three switch types of the model.
+type TransistorType uint8
+
+const (
+	// NType conducts when its gate is high (nMOS enhancement device).
+	NType TransistorType = iota
+	// PType conducts when its gate is low (pMOS enhancement device).
+	PType
+	// DType always conducts (negative-threshold nMOS depletion device,
+	// used as a pull-up load in ratioed nMOS logic).
+	DType
+)
+
+// String returns "n", "p", or "d".
+func (t TransistorType) String() string {
+	switch t {
+	case NType:
+		return "n"
+	case PType:
+		return "p"
+	case DType:
+		return "d"
+	}
+	return fmt.Sprintf("TransistorType(%d)", uint8(t))
+}
+
+// Valid reports whether t is one of the three defined types.
+func (t TransistorType) Valid() bool { return t <= DType }
+
+// ParseTransistorType parses "n", "p", or "d".
+func ParseTransistorType(s string) (TransistorType, error) {
+	switch s {
+	case "n", "N":
+		return NType, nil
+	case "p", "P":
+		return PType, nil
+	case "d", "D":
+		return DType, nil
+	}
+	return NType, fmt.Errorf("logic: invalid transistor type %q (want n, p, or d)", s)
+}
+
+// SwitchState returns the conduction state of a transistor of type t whose
+// gate node has value gate, per Table 1 of the paper:
+//
+//	gate   n-type  p-type  d-type
+//	 0       0       1       1
+//	 1       1       0       1
+//	 X       X       X       1
+//
+// State 0 is open (non-conducting), 1 is closed (fully conducting), and X
+// is an indeterminate condition between open and closed, inclusive.
+func SwitchState(t TransistorType, gate Value) Value {
+	switch t {
+	case NType:
+		return gate
+	case PType:
+		return gate.Not()
+	case DType:
+		return Hi
+	}
+	return X
+}
+
+// Strength is a position on the unified signal-strength scale. The zero
+// Strength means "no signal"; it is weaker than every real strength.
+type Strength uint16
+
+// StrengthNone is the absence of a signal.
+const StrengthNone Strength = 0
+
+// Scale describes the strength scale of a particular network: how many
+// node sizes and how many transistor strengths it uses. The paper: "each
+// storage node is assigned a discrete size (from a small set of possible
+// values)" and "each transistor is assigned a discrete strength from a
+// small set of values". Most circuits need 1-2 of each.
+type Scale struct {
+	// Sizes is the number of distinct storage-node sizes (k ≥ 1).
+	Sizes int
+	// Strengths is the number of distinct transistor strengths (m ≥ 1).
+	Strengths int
+}
+
+// DefaultScale is sufficient for most nMOS circuits: two node sizes
+// (ordinary nodes and high-capacitance busses) and two transistor
+// strengths (depletion pull-up loads and ordinary transistors), plus the
+// fault-injection strength added by Faults (see internal/fault).
+var DefaultScale = Scale{Sizes: 2, Strengths: 3}
+
+// Validate checks that the scale is usable.
+func (sc Scale) Validate() error {
+	if sc.Sizes < 1 {
+		return fmt.Errorf("logic: scale needs at least 1 node size, have %d", sc.Sizes)
+	}
+	if sc.Strengths < 1 {
+		return fmt.Errorf("logic: scale needs at least 1 transistor strength, have %d", sc.Strengths)
+	}
+	return nil
+}
+
+// SizeStrength maps node size class i (1-based, 1 = smallest) to its
+// position on the scale: κi = i.
+func (sc Scale) SizeStrength(size int) Strength {
+	if size < 1 || size > sc.Sizes {
+		panic(fmt.Sprintf("logic: node size %d out of range [1,%d]", size, sc.Sizes))
+	}
+	return Strength(size)
+}
+
+// DriveStrength maps transistor strength class j (1-based, 1 = weakest) to
+// its position on the scale: γj = k + j, above every node size.
+func (sc Scale) DriveStrength(strength int) Strength {
+	if strength < 1 || strength > sc.Strengths {
+		panic(fmt.Sprintf("logic: transistor strength %d out of range [1,%d]", strength, sc.Strengths))
+	}
+	return Strength(sc.Sizes + strength)
+}
+
+// Input returns ω, the strength of an input node, above every transistor
+// strength.
+func (sc Scale) Input() Strength {
+	return Strength(sc.Sizes + sc.Strengths + 1)
+}
+
+// Max returns the largest strength on the scale (ω).
+func (sc Scale) Max() Strength { return sc.Input() }
+
+// Attenuate returns the strength of a signal of strength s after passing
+// through a conducting transistor of strength γ: min(s, γ). Charge signals
+// (κ ≤ every γ) pass unattenuated; drive signals are limited by the
+// weakest transistor on their path; ω becomes the transistor's strength.
+func Attenuate(s, gamma Strength) Strength {
+	if s < gamma {
+		return s
+	}
+	return gamma
+}
+
+// MaxStrength returns the stronger of a and b.
+func MaxStrength(a, b Strength) Strength {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Signal is a (strength, value) pair: the atomic unit of the steady-state
+// computation. Signals originate at roots (input nodes at strength ω,
+// storage-node charges at strength κ_size) and flow through conducting
+// transistors, attenuating per Attenuate.
+type Signal struct {
+	Strength Strength
+	Value    Value
+}
+
+// None is the absent signal.
+var None = Signal{Strength: StrengthNone, Value: X}
+
+// String renders a signal as e.g. "1@3" or "-" for no signal.
+func (s Signal) String() string {
+	if s.Strength == StrengthNone {
+		return "-"
+	}
+	return fmt.Sprintf("%s@%d", s.Value, s.Strength)
+}

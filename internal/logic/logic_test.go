@@ -1,0 +1,237 @@
+package logic
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestValueString(t *testing.T) {
+	cases := []struct {
+		v    Value
+		want string
+	}{{Lo, "0"}, {Hi, "1"}, {X, "X"}}
+	for _, c := range cases {
+		if got := c.v.String(); got != c.want {
+			t.Errorf("%d.String() = %q, want %q", c.v, got, c.want)
+		}
+	}
+}
+
+func TestNot(t *testing.T) {
+	if Lo.Not() != Hi || Hi.Not() != Lo || X.Not() != X {
+		t.Errorf("Not truth table wrong: ¬0=%s ¬1=%s ¬X=%s", Lo.Not(), Hi.Not(), X.Not())
+	}
+}
+
+func TestNotInvolution(t *testing.T) {
+	for _, v := range []Value{Lo, Hi, X} {
+		if v.Not().Not() != v {
+			t.Errorf("Not not involutive at %s", v)
+		}
+	}
+}
+
+func TestLub(t *testing.T) {
+	cases := []struct {
+		a, b, want Value
+	}{
+		{Lo, Lo, Lo}, {Hi, Hi, Hi}, {X, X, X},
+		{Lo, Hi, X}, {Hi, Lo, X},
+		{Lo, X, X}, {X, Lo, X}, {Hi, X, X}, {X, Hi, X},
+	}
+	for _, c := range cases {
+		if got := Lub(c.a, c.b); got != c.want {
+			t.Errorf("Lub(%s,%s) = %s, want %s", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestLubCommutativeAssociative(t *testing.T) {
+	vals := []Value{Lo, Hi, X}
+	for _, a := range vals {
+		for _, b := range vals {
+			if Lub(a, b) != Lub(b, a) {
+				t.Errorf("Lub not commutative at (%s,%s)", a, b)
+			}
+			for _, c := range vals {
+				if Lub(Lub(a, b), c) != Lub(a, Lub(b, c)) {
+					t.Errorf("Lub not associative at (%s,%s,%s)", a, b, c)
+				}
+			}
+		}
+	}
+}
+
+func TestCovers(t *testing.T) {
+	if !Covers(X, Lo) || !Covers(X, Hi) || !Covers(Lo, Lo) || !Covers(Hi, Hi) {
+		t.Error("Covers should accept X⊒anything and v⊒v")
+	}
+	if Covers(Lo, Hi) || Covers(Hi, Lo) || Covers(Lo, X) || Covers(Hi, X) {
+		t.Error("Covers accepted an invalid pair")
+	}
+}
+
+// TestTransistorStateTable checks Table 1 of the paper exactly:
+//
+//	gate state   n-type  p-type  d-type
+//	   0           0       1       1
+//	   1           1       0       1
+//	   X           X       X       1
+func TestTransistorStateTable(t *testing.T) {
+	table := []struct {
+		gate    Value
+		n, p, d Value
+	}{
+		{Lo, Lo, Hi, Hi},
+		{Hi, Hi, Lo, Hi},
+		{X, X, X, Hi},
+	}
+	for _, row := range table {
+		if got := SwitchState(NType, row.gate); got != row.n {
+			t.Errorf("n-type gate=%s: got %s, want %s", row.gate, got, row.n)
+		}
+		if got := SwitchState(PType, row.gate); got != row.p {
+			t.Errorf("p-type gate=%s: got %s, want %s", row.gate, got, row.p)
+		}
+		if got := SwitchState(DType, row.gate); got != row.d {
+			t.Errorf("d-type gate=%s: got %s, want %s", row.gate, got, row.d)
+		}
+	}
+}
+
+func TestParseValue(t *testing.T) {
+	for s, want := range map[string]Value{"0": Lo, "1": Hi, "x": X, "X": X} {
+		got, err := ParseValue(s)
+		if err != nil || got != want {
+			t.Errorf("ParseValue(%q) = %s, %v; want %s", s, got, err, want)
+		}
+	}
+	if _, err := ParseValue("2"); err == nil {
+		t.Error("ParseValue(2) should fail")
+	}
+}
+
+func TestParseTransistorType(t *testing.T) {
+	for s, want := range map[string]TransistorType{"n": NType, "p": PType, "d": DType} {
+		got, err := ParseTransistorType(s)
+		if err != nil || got != want {
+			t.Errorf("ParseTransistorType(%q) = %s, %v; want %s", s, got, err, want)
+		}
+	}
+	if _, err := ParseTransistorType("q"); err == nil {
+		t.Error("ParseTransistorType(q) should fail")
+	}
+}
+
+func TestScaleStrengthOrdering(t *testing.T) {
+	sc := Scale{Sizes: 2, Strengths: 3}
+	if err := sc.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// κ1 < κ2 < γ1 < γ2 < γ3 < ω, all above StrengthNone.
+	order := []Strength{
+		StrengthNone,
+		sc.SizeStrength(1), sc.SizeStrength(2),
+		sc.DriveStrength(1), sc.DriveStrength(2), sc.DriveStrength(3),
+		sc.Input(),
+	}
+	for i := 1; i < len(order); i++ {
+		if order[i-1] >= order[i] {
+			t.Fatalf("strength scale out of order at %d: %v", i, order)
+		}
+	}
+	if sc.Max() != sc.Input() {
+		t.Error("Max should be ω")
+	}
+}
+
+func TestScaleValidate(t *testing.T) {
+	if err := (Scale{Sizes: 0, Strengths: 1}).Validate(); err == nil {
+		t.Error("zero sizes should be invalid")
+	}
+	if err := (Scale{Sizes: 1, Strengths: 0}).Validate(); err == nil {
+		t.Error("zero strengths should be invalid")
+	}
+	if err := DefaultScale.Validate(); err != nil {
+		t.Errorf("DefaultScale invalid: %v", err)
+	}
+}
+
+func TestScalePanicsOutOfRange(t *testing.T) {
+	sc := Scale{Sizes: 2, Strengths: 2}
+	for _, f := range []func(){
+		func() { sc.SizeStrength(0) },
+		func() { sc.SizeStrength(3) },
+		func() { sc.DriveStrength(0) },
+		func() { sc.DriveStrength(3) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic for out-of-range class")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestAttenuate(t *testing.T) {
+	sc := Scale{Sizes: 2, Strengths: 2}
+	k1, k2 := sc.SizeStrength(1), sc.SizeStrength(2)
+	g1, g2 := sc.DriveStrength(1), sc.DriveStrength(2)
+	w := sc.Input()
+	// Charge passes through any transistor unattenuated.
+	if Attenuate(k1, g1) != k1 || Attenuate(k2, g2) != k2 {
+		t.Error("charge signals must pass transistors unattenuated")
+	}
+	// Input strength becomes the transistor's strength.
+	if Attenuate(w, g1) != g1 || Attenuate(w, g2) != g2 {
+		t.Error("ω must attenuate to the transistor strength")
+	}
+	// Drive limited by the weakest transistor on the path.
+	if Attenuate(g2, g1) != g1 || Attenuate(g1, g2) != g1 {
+		t.Error("drive attenuation should be min")
+	}
+}
+
+func TestAttenuateProperties(t *testing.T) {
+	f := func(a, b uint8) bool {
+		s, g := Strength(a%16), Strength(b%16)
+		at := Attenuate(s, g)
+		return at <= s && at <= g && (at == s || at == g)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSignalString(t *testing.T) {
+	if None.String() != "-" {
+		t.Errorf("None.String() = %q", None.String())
+	}
+	s := Signal{Strength: 3, Value: Hi}
+	if s.String() != "1@3" {
+		t.Errorf("Signal.String() = %q, want 1@3", s.String())
+	}
+}
+
+func TestSwitchStateMonotone(t *testing.T) {
+	// Information-order monotonicity: if gate g2 covers g1, then
+	// SwitchState(t, g2) covers SwitchState(t, g1).
+	vals := []Value{Lo, Hi, X}
+	types := []TransistorType{NType, PType, DType}
+	for _, typ := range types {
+		for _, g1 := range vals {
+			for _, g2 := range vals {
+				if !Covers(g2, g1) {
+					continue
+				}
+				if !Covers(SwitchState(typ, g2), SwitchState(typ, g1)) {
+					t.Errorf("SwitchState(%s) not monotone: gate %s⊒%s but state %s⋣%s",
+						typ, g2, g1, SwitchState(typ, g2), SwitchState(typ, g1))
+				}
+			}
+		}
+	}
+}

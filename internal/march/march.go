@@ -1,0 +1,118 @@
+// Package march generates the paper's test sequences for the RAM
+// circuits: special tests of the control and peripheral logic followed by
+// marching tests (Winegarden & Pannell style) of the row-select logic,
+// the column-select and bit-line logic, and the memory array.
+//
+// The pattern budget reproduces the paper exactly:
+//
+//	RAM64, sequence 1: 7 control + 40 row march + 40 column march +
+//	                   320 array march = 407 patterns   (paper: 407)
+//	RAM64, sequence 2: 7 control + 320 array march = 327 (paper: 327)
+//	RAM256, sequence 1: 7 + 80 + 80 + 1280 = 1447        (paper: 1447)
+//
+// where each pattern is one clock cycle of six input settings.
+package march
+
+import (
+	"fmossim/internal/logic"
+	"fmossim/internal/ram"
+	"fmossim/internal/switchsim"
+)
+
+// ControlTests exercises the control and peripheral logic: the write/read
+// path through the data buffers and output latch, write-enable gating, and
+// the address buffers' extreme codes — 7 patterns.
+func ControlTests(m *ram.RAM) []switchsim.Pattern {
+	last := m.Conf.Bits() - 1
+	return []switchsim.Pattern{
+		m.Write(0, logic.Lo),    // write path, din=0
+		m.Read(0),               // read path, output latch captures 0
+		m.Write(0, logic.Hi),    // write path, din=1
+		m.Read(0),               // output latch captures 1
+		m.Write(last, logic.Lo), // all-ones address code
+		m.Read(last),
+		m.Read(0), // address turnaround back to all-zeros
+	}
+}
+
+// RowMarch exercises the row-select logic: for each row, write and read
+// both values in column 0, then re-read the previous row's cell to catch
+// multi-select faults — 5 patterns per row.
+func RowMarch(m *ram.RAM) []switchsim.Pattern {
+	var ps []switchsim.Pattern
+	rows := m.Conf.Rows
+	for r := 0; r < rows; r++ {
+		prev := (r + rows - 1) % rows
+		ps = append(ps,
+			m.Write(m.Address(r, 0), logic.Hi),
+			m.Read(m.Address(r, 0)),
+			m.Write(m.Address(r, 0), logic.Lo),
+			m.Read(m.Address(r, 0)),
+			m.Read(m.Address(prev, 0)),
+		)
+	}
+	return ps
+}
+
+// ColMarch exercises the column-select and bit-line logic analogously —
+// 5 patterns per column, all in row 0.
+func ColMarch(m *ram.RAM) []switchsim.Pattern {
+	var ps []switchsim.Pattern
+	cols := m.Conf.Cols
+	for c := 0; c < cols; c++ {
+		prev := (c + cols - 1) % cols
+		ps = append(ps,
+			m.Write(m.Address(0, c), logic.Hi),
+			m.Read(m.Address(0, c)),
+			m.Write(m.Address(0, c), logic.Lo),
+			m.Read(m.Address(0, c)),
+			m.Read(m.Address(0, prev)),
+		)
+	}
+	return ps
+}
+
+// ArrayMarch is the marching test of the memory array (MATS+ structure,
+// Winegarden & Pannell style), 5 patterns per cell:
+//
+//	⇑(w0); ⇑(r0,w1); ⇑(r1,w0)
+//
+// The read-then-write elements sensitize address-decoder aliasing in both
+// directions: an earlier aliased write leaves the wrong value for the
+// later read, whichever of the aliased pair is visited first.
+func ArrayMarch(m *ram.RAM) []switchsim.Pattern {
+	n := m.Conf.Bits()
+	var ps []switchsim.Pattern
+	for a := 0; a < n; a++ {
+		ps = append(ps, m.Write(a, logic.Lo))
+	}
+	for a := 0; a < n; a++ {
+		ps = append(ps, m.Read(a), m.Write(a, logic.Hi))
+	}
+	for a := 0; a < n; a++ {
+		ps = append(ps, m.Read(a), m.Write(a, logic.Lo))
+	}
+	return ps
+}
+
+// Sequence1 is the paper's first test sequence: control tests, row march,
+// column march, array march.
+func Sequence1(m *ram.RAM) *switchsim.Sequence {
+	seq := &switchsim.Sequence{Name: "sequence1"}
+	seq.Patterns = append(seq.Patterns, ControlTests(m)...)
+	seq.Patterns = append(seq.Patterns, RowMarch(m)...)
+	seq.Patterns = append(seq.Patterns, ColMarch(m)...)
+	seq.Patterns = append(seq.Patterns, ArrayMarch(m)...)
+	return seq
+}
+
+// Sequence2 is the paper's second test sequence: the row and column
+// marches omitted, so that most faults — including those in the address
+// decoding and bus control logic — are detected only slowly as the array
+// march proceeds.
+func Sequence2(m *ram.RAM) *switchsim.Sequence {
+	seq := &switchsim.Sequence{Name: "sequence2"}
+	seq.Patterns = append(seq.Patterns, ControlTests(m)...)
+	seq.Patterns = append(seq.Patterns, ArrayMarch(m)...)
+	return seq
+}

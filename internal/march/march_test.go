@@ -1,0 +1,101 @@
+package march_test
+
+import (
+	"testing"
+
+	"fmossim/internal/core"
+	"fmossim/internal/fault"
+	"fmossim/internal/march"
+	"fmossim/internal/netlist"
+	"fmossim/internal/ram"
+	"fmossim/internal/switchsim"
+)
+
+func TestSequenceLengthsMatchPaper(t *testing.T) {
+	m64 := ram.RAM64()
+	s1 := march.Sequence1(m64)
+	if got := len(s1.Patterns); got != 407 {
+		t.Errorf("RAM64 sequence 1 has %d patterns, paper says 407", got)
+	}
+	s2 := march.Sequence2(m64)
+	if got := len(s2.Patterns); got != 327 {
+		t.Errorf("RAM64 sequence 2 has %d patterns, paper says 327", got)
+	}
+	if got := s1.NumSettings(); got != 407*6 {
+		t.Errorf("sequence 1 has %d settings, want %d", got, 407*6)
+	}
+
+	m256 := ram.RAM256()
+	s1b := march.Sequence1(m256)
+	if got := len(s1b.Patterns); got != 1447 {
+		t.Errorf("RAM256 sequence 1 has %d patterns, paper says 1447", got)
+	}
+}
+
+func TestSectionBudgets(t *testing.T) {
+	m := ram.RAM64()
+	if got := len(march.ControlTests(m)); got != 7 {
+		t.Errorf("control tests: %d patterns, want 7", got)
+	}
+	if got := len(march.RowMarch(m)); got != 40 {
+		t.Errorf("row march: %d patterns, want 40", got)
+	}
+	if got := len(march.ColMarch(m)); got != 40 {
+		t.Errorf("col march: %d patterns, want 40", got)
+	}
+	if got := len(march.ArrayMarch(m)); got != 320 {
+		t.Errorf("array march: %d patterns, want 320", got)
+	}
+}
+
+// TestGoodCircuitRunsSequence1 smoke-tests the whole sequence on the good
+// circuit: it must complete without oscillation reports and leave every
+// cell at its final marched value (the last full pass writes... the final
+// state after ⇓(r1) keeps all cells at 1).
+func TestGoodCircuitRunsSequence1(t *testing.T) {
+	m := ram.RAM64()
+	sim := switchsim.NewSimulator(m.Net)
+	sim.Init()
+	seq := march.Sequence1(m)
+	sim.RunSequence(seq)
+	for r := 0; r < 8; r++ {
+		for c := 0; c < 8; c++ {
+			if got := sim.Circuit.Value(m.Store[r][c]); got.String() != "0" {
+				t.Fatalf("cell (%d,%d) after sequence 1 = %s, want 0", r, c, got)
+			}
+		}
+	}
+}
+
+// TestMarchDetectsPlantedFaults checks end-to-end fault detection: a
+// sample of planted stuck-at faults in distinct functional regions must
+// all be caught by sequence 1.
+func TestMarchDetectsPlantedFaults(t *testing.T) {
+	m := ram.RAM64()
+	nw := m.Net
+	faults := []fault.Fault{
+		{Kind: fault.NodeStuck0, Node: m.Store[4][2]},          // cell bit
+		{Kind: fault.NodeStuck1, Node: m.Store[0][7]},          // cell bit
+		{Kind: fault.NodeStuck0, Node: nw.MustLookup("rrow3")}, // row select
+		{Kind: fault.NodeStuck1, Node: nw.MustLookup("wrow5")}, // write row stuck on
+		{Kind: fault.NodeStuck0, Node: nw.MustLookup("rbit1")}, // bit line
+		{Kind: fault.NodeStuck1, Node: nw.MustLookup("cdec6")}, // column decode
+		{Kind: fault.NodeStuck0, Node: nw.MustLookup("sense")}, // output latch
+		{Kind: fault.NodeStuck1, Node: nw.MustLookup("wen")},   // write enable stuck
+		{Kind: fault.NodeStuck0, Node: nw.MustLookup("at0")},   // address buffer
+		{Kind: fault.Bridge, Trans: m.BitlineShorts[0]},        // adjacent bit lines
+	}
+	sim, err := core.New(nw, faults, core.Options{Observe: []netlist.NodeID{m.DataOut}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := sim.Run(march.Sequence1(m))
+	for i := range faults {
+		if _, ok := sim.Detected(i); !ok {
+			t.Errorf("fault %s not detected by sequence 1", faults[i].Describe(nw))
+		}
+	}
+	if res.Detected != len(faults) {
+		t.Errorf("detected %d of %d faults", res.Detected, len(faults))
+	}
+}

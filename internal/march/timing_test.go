@@ -1,0 +1,27 @@
+package march_test
+
+import (
+	"testing"
+	"time"
+
+	"fmossim/internal/core"
+	"fmossim/internal/fault"
+	"fmossim/internal/march"
+	"fmossim/internal/netlist"
+	"fmossim/internal/ram"
+)
+
+func TestTimingFig1Scale(t *testing.T) {
+	m := ram.RAM64()
+	faults := fault.NodeStuckFaults(m.Net, fault.Options{})
+	t.Logf("faults: %d", len(faults))
+	t0 := time.Now()
+	sim, err := core.New(m.Net, faults, core.Options{Observe: []netlist.NodeID{m.DataOut}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("init: %v", time.Since(t0))
+	res := sim.Run(march.Sequence1(m))
+	t.Logf("run: %v detected=%d/%d live=%d osc=%d", time.Since(t0), res.Detected, res.NumFaults, sim.LiveFaults(), res.Oscillated)
+	t.Logf("good work=%d fault work=%d ratio=%.2f", res.GoodWork, res.FaultWork, float64(res.TotalWork())/float64(res.GoodWork))
+}

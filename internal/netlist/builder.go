@@ -1,0 +1,171 @@
+package netlist
+
+import (
+	"fmt"
+
+	"fmossim/internal/logic"
+)
+
+// Well-known node names. Builders that follow these conventions get Vdd
+// and Gnd handling for free from the simulators and fault tools.
+const (
+	VddName = "Vdd"
+	GndName = "Gnd"
+	// TieHiName is a constant-1 input used to gate normally-closed
+	// structural transistors (breakable wires).
+	TieHiName = "TieHi"
+	// TieLoName is a constant-0 input used to gate normally-open fault
+	// transistors (bridge/short candidates).
+	TieLoName = "TieLo"
+)
+
+// Builder wraps a Network with panic-on-error construction helpers and
+// power-rail conventions. Generators (gates, RAM) use Builder; errors in
+// generator code are programming errors, so panicking is appropriate
+// there. Hand-written or parsed netlists should use the Network API
+// directly and handle errors.
+type Builder struct {
+	Net *Network
+
+	Vdd NodeID
+	Gnd NodeID
+
+	tieHi NodeID
+	tieLo NodeID
+
+	// Defaults applied by convenience methods.
+	DefaultSize     int // storage node size class
+	DefaultStrength int // ordinary transistor strength class
+}
+
+// NewBuilder returns a builder over a fresh network with Vdd and Gnd
+// already declared.
+func NewBuilder(scale logic.Scale) *Builder {
+	b := &Builder{
+		Net:             New(scale),
+		tieHi:           NoNode,
+		tieLo:           NoNode,
+		DefaultSize:     1,
+		DefaultStrength: scale.Strengths, // strongest ordinary class by default
+	}
+	b.Vdd = b.Input(VddName, logic.Hi)
+	b.Gnd = b.Input(GndName, logic.Lo)
+	return b
+}
+
+// Input declares an input node.
+func (b *Builder) Input(name string, init logic.Value) NodeID {
+	id, err := b.Net.AddInput(name, init)
+	if err != nil {
+		panic(err)
+	}
+	return id
+}
+
+// Node declares a storage node of the default size.
+func (b *Builder) Node(name string) NodeID {
+	return b.SizedNode(name, b.DefaultSize)
+}
+
+// SizedNode declares a storage node with an explicit size class.
+func (b *Builder) SizedNode(name string, size int) NodeID {
+	id, err := b.Net.AddStorage(name, size)
+	if err != nil {
+		panic(err)
+	}
+	return id
+}
+
+// NodeOr returns the existing node with the given name, declaring a
+// default-size storage node if absent.
+func (b *Builder) NodeOr(name string) NodeID {
+	if id := b.Net.Lookup(name); id != NoNode {
+		return id
+	}
+	return b.Node(name)
+}
+
+// Trans adds a transistor of the default strength.
+func (b *Builder) Trans(typ logic.TransistorType, gate, source, drain NodeID, label string) TransID {
+	return b.StrengthTrans(typ, b.DefaultStrength, gate, source, drain, label)
+}
+
+// StrengthTrans adds a transistor with an explicit strength class.
+func (b *Builder) StrengthTrans(typ logic.TransistorType, strength int, gate, source, drain NodeID, label string) TransID {
+	id, err := b.Net.AddTransistor(typ, strength, gate, source, drain, label)
+	if err != nil {
+		panic(err)
+	}
+	return id
+}
+
+// N adds an n-type transistor of default strength.
+func (b *Builder) N(gate, source, drain NodeID, label string) TransID {
+	return b.Trans(logic.NType, gate, source, drain, label)
+}
+
+// P adds a p-type transistor of default strength.
+func (b *Builder) P(gate, source, drain NodeID, label string) TransID {
+	return b.Trans(logic.PType, gate, source, drain, label)
+}
+
+// Load adds a d-type (depletion) pull-up of strength class 1 (the weakest)
+// from Vdd to node n: the standard nMOS ratioed-logic load. Its gate is
+// tied to its source node, as in a real depletion load.
+func (b *Builder) Load(n NodeID, label string) TransID {
+	return b.StrengthTrans(logic.DType, 1, n, b.Vdd, n, label)
+}
+
+// TieHi returns the shared constant-1 input node, creating it on first use.
+func (b *Builder) TieHi() NodeID {
+	if b.tieHi == NoNode {
+		b.tieHi = b.Input(TieHiName, logic.Hi)
+	}
+	return b.tieHi
+}
+
+// TieLo returns the shared constant-0 input node, creating it on first use.
+func (b *Builder) TieLo() NodeID {
+	if b.tieLo == NoNode {
+		b.tieLo = b.Input(TieLoName, logic.Lo)
+	}
+	return b.tieLo
+}
+
+// Breakable joins nodes a and b with a normally-closed transistor of the
+// strongest class, gated by TieHi. In the good circuit the wire conducts;
+// an open-circuit fault pins the transistor open, splitting the wire. This
+// is the paper's construction: "an open circuit can be represented by
+// splitting a node into two parts connected by a transistor of very high
+// strength where this transistor is set to 1 in the good circuit and 0 in
+// the faulty circuit."
+func (b *Builder) Breakable(x, y NodeID, label string) TransID {
+	return b.StrengthTrans(logic.NType, b.Net.Scale.Strengths, b.TieHi(), x, y, label)
+}
+
+// BridgeCandidate joins nodes a and b with a normally-open transistor of
+// the strongest class, gated by TieLo. In the good circuit the transistor
+// is open (no effect); a bridging (short) fault pins it closed. This is
+// the paper's construction for shorts.
+func (b *Builder) BridgeCandidate(x, y NodeID, label string) TransID {
+	return b.StrengthTrans(logic.NType, b.Net.Scale.Strengths, b.TieLo(), x, y, label)
+}
+
+// Finalize finalizes the underlying network, panicking on error.
+func (b *Builder) Finalize() *Network {
+	if err := b.Net.Finalize(); err != nil {
+		panic(err)
+	}
+	return b.Net
+}
+
+// Fresh derives a unique label with the given prefix; used by cell
+// libraries for anonymous internal nodes.
+func (b *Builder) Fresh(prefix string) string {
+	for i := 0; ; i++ {
+		name := fmt.Sprintf("%s.%d", prefix, i)
+		if b.Net.Lookup(name) == NoNode {
+			return name
+		}
+	}
+}

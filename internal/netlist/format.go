@@ -1,0 +1,191 @@
+package netlist
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"fmossim/internal/logic"
+)
+
+// The text netlist format is a line-oriented dialect of the Berkeley .sim
+// format, extended with node-size and input declarations:
+//
+//	| anything          comment
+//	scale K M           K node sizes, M transistor strengths (first line)
+//	input NAME [0|1|X]  input node with initial state (default X)
+//	node NAME [SIZE]    storage node with size class (default 1)
+//	n GATE SRC DRN [S]  n-type transistor, strength class S (default M)
+//	p GATE SRC DRN [S]  p-type transistor
+//	d GATE SRC DRN [S]  d-type (depletion) transistor
+//
+// Node names are arbitrary whitespace-free strings. Transistor lines may
+// reference storage nodes before declaration; such nodes are implicitly
+// declared with size 1. "Vdd" and "Gnd" are implicitly inputs at 1 and 0
+// if referenced but not declared.
+
+// Read parses a network from the text format.
+func Read(r io.Reader) (*Network, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<22)
+
+	var nw *Network
+	lineNo := 0
+	fail := func(format string, args ...any) error {
+		return fmt.Errorf("netlist: line %d: %s", lineNo, fmt.Sprintf(format, args...))
+	}
+
+	ensure := func() {
+		if nw == nil {
+			nw = New(logic.DefaultScale)
+		}
+	}
+	// getNode resolves a name, implicitly declaring storage nodes (and the
+	// power rails as inputs).
+	getNode := func(name string) (NodeID, error) {
+		if id := nw.Lookup(name); id != NoNode {
+			return id, nil
+		}
+		switch name {
+		case VddName, TieHiName:
+			return nw.AddInput(name, logic.Hi)
+		case GndName, TieLoName:
+			return nw.AddInput(name, logic.Lo)
+		}
+		return nw.AddStorage(name, 1)
+	}
+
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "|") || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		switch fields[0] {
+		case "scale":
+			if nw != nil {
+				return nil, fail("scale must be the first declaration")
+			}
+			if len(fields) != 3 {
+				return nil, fail("scale wants 2 arguments")
+			}
+			k, err1 := strconv.Atoi(fields[1])
+			m, err2 := strconv.Atoi(fields[2])
+			if err1 != nil || err2 != nil {
+				return nil, fail("scale arguments must be integers")
+			}
+			nw = New(logic.Scale{Sizes: k, Strengths: m})
+			if err := nw.Scale.Validate(); err != nil {
+				return nil, fail("%v", err)
+			}
+		case "input":
+			ensure()
+			if len(fields) < 2 || len(fields) > 3 {
+				return nil, fail("input wants NAME [0|1|X]")
+			}
+			init := logic.X
+			if len(fields) == 3 {
+				v, err := logic.ParseValue(fields[2])
+				if err != nil {
+					return nil, fail("%v", err)
+				}
+				init = v
+			}
+			if _, err := nw.AddInput(fields[1], init); err != nil {
+				return nil, fail("%v", err)
+			}
+		case "node":
+			ensure()
+			if len(fields) < 2 || len(fields) > 3 {
+				return nil, fail("node wants NAME [SIZE]")
+			}
+			size := 1
+			if len(fields) == 3 {
+				s, err := strconv.Atoi(fields[2])
+				if err != nil {
+					return nil, fail("node size must be an integer")
+				}
+				size = s
+			}
+			if _, err := nw.AddStorage(fields[1], size); err != nil {
+				return nil, fail("%v", err)
+			}
+		case "n", "p", "d":
+			ensure()
+			if len(fields) < 4 || len(fields) > 5 {
+				return nil, fail("%s wants GATE SRC DRN [STRENGTH]", fields[0])
+			}
+			typ, err := logic.ParseTransistorType(fields[0])
+			if err != nil {
+				return nil, fail("%v", err)
+			}
+			strength := nw.Scale.Strengths
+			if typ == logic.DType {
+				strength = 1 // depletion loads default to the weakest class
+			}
+			if len(fields) == 5 {
+				s, err := strconv.Atoi(fields[4])
+				if err != nil {
+					return nil, fail("strength must be an integer")
+				}
+				strength = s
+			}
+			gate, err := getNode(fields[1])
+			if err != nil {
+				return nil, fail("%v", err)
+			}
+			src, err := getNode(fields[2])
+			if err != nil {
+				return nil, fail("%v", err)
+			}
+			drn, err := getNode(fields[3])
+			if err != nil {
+				return nil, fail("%v", err)
+			}
+			if _, err := nw.AddTransistor(typ, strength, gate, src, drn, ""); err != nil {
+				return nil, fail("%v", err)
+			}
+		default:
+			return nil, fail("unknown declaration %q", fields[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("netlist: %w", err)
+	}
+	if nw == nil {
+		return nil, fmt.Errorf("netlist: empty input")
+	}
+	if err := nw.Finalize(); err != nil {
+		return nil, err
+	}
+	return nw, nil
+}
+
+// Write emits the network in the text format accepted by Read.
+func Write(w io.Writer, nw *Network) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "| switch-level netlist: %s\n", nw.Stats())
+	fmt.Fprintf(bw, "scale %d %d\n", nw.Scale.Sizes, nw.Scale.Strengths)
+	for i := 0; i < nw.NumNodes(); i++ {
+		n := nw.Node(NodeID(i))
+		switch n.Kind {
+		case Input:
+			fmt.Fprintf(bw, "input %s %s\n", n.Name, n.Init)
+		case Storage:
+			if n.Size != 1 {
+				fmt.Fprintf(bw, "node %s %d\n", n.Name, n.Size)
+			} else {
+				fmt.Fprintf(bw, "node %s\n", n.Name)
+			}
+		}
+	}
+	for i := 0; i < nw.NumTransistors(); i++ {
+		t := nw.Transistor(TransID(i))
+		fmt.Fprintf(bw, "%s %s %s %s %d\n",
+			t.Type, nw.Name(t.Gate), nw.Name(t.Source), nw.Name(t.Drain), t.Strength)
+	}
+	return bw.Flush()
+}

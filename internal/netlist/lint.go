@@ -1,0 +1,87 @@
+package netlist
+
+import "fmt"
+
+// Issue is a single lint finding.
+type Issue struct {
+	// Severity is "error" or "warning".
+	Severity string
+	Message  string
+}
+
+func (i Issue) String() string { return i.Severity + ": " + i.Message }
+
+// Lint checks a finalized network for structural problems that commonly
+// indicate netlist-capture mistakes. Errors make simulation results
+// meaningless; warnings are usually intentional but worth a look.
+func Lint(nw *Network) []Issue {
+	var issues []Issue
+	errf := func(format string, args ...any) {
+		issues = append(issues, Issue{"error", fmt.Sprintf(format, args...)})
+	}
+	warnf := func(format string, args ...any) {
+		issues = append(issues, Issue{"warning", fmt.Sprintf(format, args...)})
+	}
+
+	if !nw.Finalized() {
+		errf("network not finalized")
+		return issues
+	}
+
+	// Power rails should be inputs with the conventional states.
+	for _, rail := range []struct {
+		name string
+		want string
+	}{{VddName, "1"}, {GndName, "0"}} {
+		id := nw.Lookup(rail.name)
+		if id == NoNode {
+			warnf("no %s node", rail.name)
+			continue
+		}
+		n := nw.Node(id)
+		if n.Kind != Input {
+			errf("%s is a storage node; power rails must be inputs", rail.name)
+		} else if n.Init.String() != rail.want {
+			errf("%s initial state is %s, want %s", rail.name, n.Init, rail.want)
+		}
+	}
+
+	for i := 0; i < nw.NumNodes(); i++ {
+		id := NodeID(i)
+		n := nw.Node(id)
+		if n.Kind != Storage {
+			continue
+		}
+		ch := nw.Channel(id)
+		g := nw.GatedBy(id)
+		if len(ch) == 0 && len(g) == 0 {
+			warnf("storage node %q is not connected to anything", n.Name)
+		} else if len(ch) == 0 {
+			warnf("storage node %q gates transistors but has no channel connection; it will stay X forever", n.Name)
+		}
+	}
+
+	// A storage node connected only by gates of other transistors but
+	// driving nothing is dead weight; also flag transistors whose gate is a
+	// constant rail (other than Tie conventions), which are usually
+	// better expressed as d-type or removed.
+	for i := 0; i < nw.NumTransistors(); i++ {
+		t := nw.Transistor(TransID(i))
+		gateName := nw.Name(t.Gate)
+		if gateName == VddName || gateName == GndName {
+			warnf("transistor %d (%s) gated by power rail %s; use TieHi/TieLo or a d-type device",
+				i, t.Label, gateName)
+		}
+	}
+	return issues
+}
+
+// HasErrors reports whether any issue has error severity.
+func HasErrors(issues []Issue) bool {
+	for _, is := range issues {
+		if is.Severity == "error" {
+			return true
+		}
+	}
+	return false
+}

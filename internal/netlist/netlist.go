@@ -1,0 +1,353 @@
+// Package netlist represents switch-level networks: charge-storage nodes
+// connected by bidirectional transistor switches, per Bryant's model.
+//
+// A network consists of a set of nodes and a set of transistors; no
+// restrictions are placed on how they are interconnected. Each node is
+// either an input node (a strong signal source whose state is not affected
+// by the network: Vdd, Gnd, clocks, data inputs) or a storage node (state
+// determined by network operation, holds charge when isolated). Each
+// storage node has a discrete size; each transistor has a type (n/p/d), a
+// discrete strength, and gate/source/drain terminals. Source and drain are
+// symmetric: every transistor is bidirectional.
+//
+// Networks are constructed through the Add* methods and must be finalized
+// with Finalize before simulation; Finalize computes terminal adjacency
+// indexes and validates the design.
+package netlist
+
+import (
+	"fmt"
+	"sort"
+
+	"fmossim/internal/logic"
+)
+
+// NodeID identifies a node within a Network. IDs are dense indexes,
+// assigned in creation order.
+type NodeID int32
+
+// TransID identifies a transistor within a Network.
+type TransID int32
+
+// NoNode is the invalid node id.
+const NoNode NodeID = -1
+
+// NoTrans is the invalid transistor id.
+const NoTrans TransID = -1
+
+// NodeKind distinguishes input nodes from storage nodes.
+type NodeKind uint8
+
+const (
+	// Storage nodes take their state from the operation of the network
+	// and hold charge when isolated.
+	Storage NodeKind = iota
+	// Input nodes provide a strong signal (strength ω) to the network;
+	// their state is set externally and never by the network.
+	Input
+)
+
+// String returns "storage" or "input".
+func (k NodeKind) String() string {
+	if k == Input {
+		return "input"
+	}
+	return "storage"
+}
+
+// Node is a named circuit node.
+type Node struct {
+	Name string
+	Kind NodeKind
+	// Size is the 1-based size class of a storage node (κ index). Larger
+	// sizes model higher capacitance (busses). Ignored for input nodes.
+	Size int
+	// Init is the initial state applied by simulators at reset. Storage
+	// nodes normally start at X; input nodes at their declared value.
+	Init logic.Value
+}
+
+// Transistor is a bidirectional switch with gate, source and drain
+// terminals. No distinction is made between source and drain.
+type Transistor struct {
+	Type logic.TransistorType
+	// Strength is the 1-based strength class (γ index).
+	Strength int
+	Gate     NodeID
+	Source   NodeID
+	Drain    NodeID
+	// Label is an optional designator (e.g. "cell[3][5].write").
+	Label string
+}
+
+// Other returns the terminal of t opposite to n, which must be the source
+// or the drain.
+func (t *Transistor) Other(n NodeID) NodeID {
+	if n == t.Source {
+		return t.Drain
+	}
+	if n == t.Drain {
+		return t.Source
+	}
+	panic(fmt.Sprintf("netlist: node %d is not a channel terminal of transistor", n))
+}
+
+// Network is a switch-level network. The zero value is empty and usable;
+// add nodes and transistors, then call Finalize.
+type Network struct {
+	Scale logic.Scale
+
+	nodes  []Node
+	trans  []Transistor
+	byName map[string]NodeID
+
+	// channel[n] lists transistors whose source or drain is node n,
+	// in ascending TransID order. Built by Finalize.
+	channel [][]TransID
+	// gates[n] lists transistors whose gate is node n. Built by Finalize.
+	gates [][]TransID
+
+	finalized bool
+}
+
+// New returns an empty network using the given strength scale.
+func New(scale logic.Scale) *Network {
+	return &Network{
+		Scale:  scale,
+		byName: make(map[string]NodeID),
+	}
+}
+
+// NumNodes returns the number of nodes.
+func (nw *Network) NumNodes() int { return len(nw.nodes) }
+
+// NumTransistors returns the number of transistors.
+func (nw *Network) NumTransistors() int { return len(nw.trans) }
+
+// NumStorageNodes returns the number of storage (non-input) nodes.
+func (nw *Network) NumStorageNodes() int {
+	c := 0
+	for i := range nw.nodes {
+		if nw.nodes[i].Kind == Storage {
+			c++
+		}
+	}
+	return c
+}
+
+// Node returns the node record for id. The returned pointer is valid until
+// the next Add call.
+func (nw *Network) Node(id NodeID) *Node {
+	return &nw.nodes[id]
+}
+
+// Transistor returns the transistor record for id.
+func (nw *Network) Transistor(id TransID) *Transistor {
+	return &nw.trans[id]
+}
+
+// Lookup returns the node with the given name, or NoNode.
+func (nw *Network) Lookup(name string) NodeID {
+	if id, ok := nw.byName[name]; ok {
+		return id
+	}
+	return NoNode
+}
+
+// MustLookup returns the node with the given name and panics if absent.
+func (nw *Network) MustLookup(name string) NodeID {
+	id := nw.Lookup(name)
+	if id == NoNode {
+		panic(fmt.Sprintf("netlist: no node named %q", name))
+	}
+	return id
+}
+
+// Name returns the name of node id.
+func (nw *Network) Name(id NodeID) string { return nw.nodes[id].Name }
+
+func (nw *Network) addNode(n Node) (NodeID, error) {
+	if nw.finalized {
+		return NoNode, fmt.Errorf("netlist: cannot add node %q after Finalize", n.Name)
+	}
+	if n.Name == "" {
+		return NoNode, fmt.Errorf("netlist: node name must be non-empty")
+	}
+	if _, dup := nw.byName[n.Name]; dup {
+		return NoNode, fmt.Errorf("netlist: duplicate node name %q", n.Name)
+	}
+	id := NodeID(len(nw.nodes))
+	nw.nodes = append(nw.nodes, n)
+	nw.byName[n.Name] = id
+	return id, nil
+}
+
+// AddStorage adds a storage node with the given size class (1-based).
+func (nw *Network) AddStorage(name string, size int) (NodeID, error) {
+	if size < 1 || size > nw.Scale.Sizes {
+		return NoNode, fmt.Errorf("netlist: node %q size %d out of range [1,%d]", name, size, nw.Scale.Sizes)
+	}
+	return nw.addNode(Node{Name: name, Kind: Storage, Size: size, Init: logic.X})
+}
+
+// AddInput adds an input node with the given initial state.
+func (nw *Network) AddInput(name string, init logic.Value) (NodeID, error) {
+	if !init.Valid() {
+		return NoNode, fmt.Errorf("netlist: node %q invalid init state", name)
+	}
+	return nw.addNode(Node{Name: name, Kind: Input, Init: init})
+}
+
+// AddTransistor adds a transistor. Strength is the 1-based strength class.
+func (nw *Network) AddTransistor(typ logic.TransistorType, strength int, gate, source, drain NodeID, label string) (TransID, error) {
+	if nw.finalized {
+		return NoTrans, fmt.Errorf("netlist: cannot add transistor %q after Finalize", label)
+	}
+	if !typ.Valid() {
+		return NoTrans, fmt.Errorf("netlist: transistor %q invalid type", label)
+	}
+	if strength < 1 || strength > nw.Scale.Strengths {
+		return NoTrans, fmt.Errorf("netlist: transistor %q strength %d out of range [1,%d]", label, strength, nw.Scale.Strengths)
+	}
+	for _, n := range []NodeID{gate, source, drain} {
+		if n < 0 || int(n) >= len(nw.nodes) {
+			return NoTrans, fmt.Errorf("netlist: transistor %q references unknown node %d", label, n)
+		}
+	}
+	if source == drain {
+		return NoTrans, fmt.Errorf("netlist: transistor %q has source == drain (node %q)", label, nw.Name(source))
+	}
+	id := TransID(len(nw.trans))
+	nw.trans = append(nw.trans, Transistor{
+		Type: typ, Strength: strength, Gate: gate, Source: source, Drain: drain, Label: label,
+	})
+	return id, nil
+}
+
+// Finalize validates the network and builds the adjacency indexes used by
+// simulators. After Finalize, the network is immutable.
+func (nw *Network) Finalize() error {
+	if nw.finalized {
+		return nil
+	}
+	if err := nw.Scale.Validate(); err != nil {
+		return err
+	}
+	if len(nw.nodes) == 0 {
+		return fmt.Errorf("netlist: empty network")
+	}
+	nw.channel = make([][]TransID, len(nw.nodes))
+	nw.gates = make([][]TransID, len(nw.nodes))
+	for i := range nw.trans {
+		t := &nw.trans[i]
+		id := TransID(i)
+		nw.channel[t.Source] = append(nw.channel[t.Source], id)
+		nw.channel[t.Drain] = append(nw.channel[t.Drain], id)
+		nw.gates[t.Gate] = append(nw.gates[t.Gate], id)
+	}
+	nw.finalized = true
+	return nil
+}
+
+// Finalized reports whether Finalize has been called.
+func (nw *Network) Finalized() bool { return nw.finalized }
+
+// Channel returns the transistors whose source or drain is node n. The
+// returned slice must not be modified.
+func (nw *Network) Channel(n NodeID) []TransID {
+	if !nw.finalized {
+		panic("netlist: Channel before Finalize")
+	}
+	return nw.channel[n]
+}
+
+// GatedBy returns the transistors whose gate is node n. The returned slice
+// must not be modified.
+func (nw *Network) GatedBy(n NodeID) []TransID {
+	if !nw.finalized {
+		panic("netlist: GatedBy before Finalize")
+	}
+	return nw.gates[n]
+}
+
+// Inputs returns the ids of all input nodes in ascending order.
+func (nw *Network) Inputs() []NodeID {
+	var ids []NodeID
+	for i := range nw.nodes {
+		if nw.nodes[i].Kind == Input {
+			ids = append(ids, NodeID(i))
+		}
+	}
+	return ids
+}
+
+// StorageNodes returns the ids of all storage nodes in ascending order.
+func (nw *Network) StorageNodes() []NodeID {
+	var ids []NodeID
+	for i := range nw.nodes {
+		if nw.nodes[i].Kind == Storage {
+			ids = append(ids, NodeID(i))
+		}
+	}
+	return ids
+}
+
+// NodeNames returns all node names, sorted.
+func (nw *Network) NodeNames() []string {
+	names := make([]string, 0, len(nw.nodes))
+	for i := range nw.nodes {
+		names = append(names, nw.nodes[i].Name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// DriveStrength returns the scale position of transistor t's strength.
+func (nw *Network) DriveStrength(t TransID) logic.Strength {
+	return nw.Scale.DriveStrength(nw.trans[t].Strength)
+}
+
+// ChargeStrength returns the scale position of storage node n's size, or
+// ω for an input node.
+func (nw *Network) ChargeStrength(n NodeID) logic.Strength {
+	nd := &nw.nodes[n]
+	if nd.Kind == Input {
+		return nw.Scale.Input()
+	}
+	return nw.Scale.SizeStrength(nd.Size)
+}
+
+// Stats summarizes a network for reporting.
+type Stats struct {
+	Nodes        int
+	StorageNodes int
+	InputNodes   int
+	Transistors  int
+	ByType       map[logic.TransistorType]int
+}
+
+// Stats computes summary statistics.
+func (nw *Network) Stats() Stats {
+	s := Stats{
+		Nodes:       len(nw.nodes),
+		Transistors: len(nw.trans),
+		ByType:      map[logic.TransistorType]int{},
+	}
+	for i := range nw.nodes {
+		if nw.nodes[i].Kind == Input {
+			s.InputNodes++
+		} else {
+			s.StorageNodes++
+		}
+	}
+	for i := range nw.trans {
+		s.ByType[nw.trans[i].Type]++
+	}
+	return s
+}
+
+// String renders the stats line, e.g. "695 nodes (679 storage, 16 input), 1148 transistors".
+func (s Stats) String() string {
+	return fmt.Sprintf("%d nodes (%d storage, %d input), %d transistors",
+		s.Nodes, s.StorageNodes, s.InputNodes, s.Transistors)
+}

@@ -1,0 +1,329 @@
+package netlist_test
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"fmossim/internal/logic"
+	"fmossim/internal/netlist"
+	"fmossim/internal/testnet"
+)
+
+func small(t *testing.T) *netlist.Network {
+	t.Helper()
+	nw := netlist.New(logic.Scale{Sizes: 2, Strengths: 2})
+	if _, err := nw.AddInput("Vdd", logic.Hi); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := nw.AddInput("Gnd", logic.Lo); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := nw.AddInput("a", logic.Lo); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := nw.AddStorage("out", 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := nw.AddTransistor(logic.DType, 1, nw.MustLookup("out"), nw.MustLookup("Vdd"), nw.MustLookup("out"), "load"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := nw.AddTransistor(logic.NType, 2, nw.MustLookup("a"), nw.MustLookup("out"), nw.MustLookup("Gnd"), "pd"); err != nil {
+		t.Fatal(err)
+	}
+	return nw
+}
+
+func TestBasicConstruction(t *testing.T) {
+	nw := small(t)
+	if err := nw.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	if nw.NumNodes() != 4 || nw.NumTransistors() != 2 {
+		t.Errorf("got %d nodes %d transistors", nw.NumNodes(), nw.NumTransistors())
+	}
+	if nw.NumStorageNodes() != 1 {
+		t.Errorf("got %d storage nodes, want 1", nw.NumStorageNodes())
+	}
+	st := nw.Stats()
+	if st.InputNodes != 3 || st.StorageNodes != 1 || st.ByType[logic.NType] != 1 || st.ByType[logic.DType] != 1 {
+		t.Errorf("bad stats: %+v", st)
+	}
+	if !strings.Contains(st.String(), "4 nodes") {
+		t.Errorf("stats string: %s", st)
+	}
+}
+
+func TestDuplicateNameRejected(t *testing.T) {
+	nw := netlist.New(logic.DefaultScale)
+	if _, err := nw.AddInput("a", logic.Lo); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := nw.AddStorage("a", 1); err == nil {
+		t.Error("duplicate name should be rejected")
+	}
+}
+
+func TestValidationErrors(t *testing.T) {
+	nw := netlist.New(logic.Scale{Sizes: 1, Strengths: 1})
+	a, _ := nw.AddInput("a", logic.Lo)
+	b, _ := nw.AddStorage("b", 1)
+	if _, err := nw.AddStorage("big", 2); err == nil {
+		t.Error("size out of scale should be rejected")
+	}
+	if _, err := nw.AddTransistor(logic.NType, 2, a, a, b, ""); err == nil {
+		t.Error("strength out of scale should be rejected")
+	}
+	if _, err := nw.AddTransistor(logic.NType, 1, a, b, b, ""); err == nil {
+		t.Error("source==drain should be rejected")
+	}
+	if _, err := nw.AddTransistor(logic.NType, 1, 99, a, b, ""); err == nil {
+		t.Error("unknown node should be rejected")
+	}
+	if _, err := nw.AddInput("x", logic.Value(9)); err == nil {
+		t.Error("invalid init value should be rejected")
+	}
+}
+
+func TestAddAfterFinalizeRejected(t *testing.T) {
+	nw := small(t)
+	if err := nw.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := nw.AddStorage("late", 1); err == nil {
+		t.Error("AddStorage after Finalize should fail")
+	}
+	if _, err := nw.AddTransistor(logic.NType, 1, 0, 1, 2, ""); err == nil {
+		t.Error("AddTransistor after Finalize should fail")
+	}
+	// Finalize is idempotent.
+	if err := nw.Finalize(); err != nil {
+		t.Errorf("second Finalize: %v", err)
+	}
+}
+
+func TestAdjacency(t *testing.T) {
+	nw := small(t)
+	if err := nw.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	out := nw.MustLookup("out")
+	a := nw.MustLookup("a")
+	if got := len(nw.Channel(out)); got != 2 {
+		t.Errorf("out channel degree = %d, want 2", got)
+	}
+	if got := len(nw.GatedBy(a)); got != 1 {
+		t.Errorf("a gates %d transistors, want 1", got)
+	}
+	if got := len(nw.GatedBy(out)); got != 1 { // the depletion load's gate
+		t.Errorf("out gates %d transistors, want 1", got)
+	}
+	tr := nw.Transistor(nw.GatedBy(a)[0])
+	if tr.Other(nw.MustLookup("Gnd")) != out || tr.Other(out) != nw.MustLookup("Gnd") {
+		t.Error("Other() should flip between channel terminals")
+	}
+}
+
+func TestLookup(t *testing.T) {
+	nw := small(t)
+	if nw.Lookup("nope") != netlist.NoNode {
+		t.Error("Lookup of unknown name should return NoNode")
+	}
+	if nw.Name(nw.MustLookup("a")) != "a" {
+		t.Error("Name/MustLookup roundtrip failed")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("MustLookup of unknown name should panic")
+		}
+	}()
+	nw.MustLookup("nope")
+}
+
+func TestInputsAndStorageLists(t *testing.T) {
+	nw := small(t)
+	if err := nw.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(nw.Inputs()); got != 3 {
+		t.Errorf("Inputs() = %d, want 3", got)
+	}
+	if got := len(nw.StorageNodes()); got != 1 {
+		t.Errorf("StorageNodes() = %d, want 1", got)
+	}
+	names := nw.NodeNames()
+	if len(names) != 4 || names[0] != "Gnd" {
+		t.Errorf("NodeNames() = %v", names)
+	}
+}
+
+func TestBuilderConveniences(t *testing.T) {
+	b := netlist.NewBuilder(logic.Scale{Sizes: 2, Strengths: 2})
+	n := b.Node("n")
+	if b.NodeOr("n") != n {
+		t.Error("NodeOr should return the existing node")
+	}
+	m := b.NodeOr("m")
+	if b.Net.Lookup("m") != m {
+		t.Error("NodeOr should create missing nodes")
+	}
+	if b.TieHi() != b.TieHi() || b.TieLo() != b.TieLo() {
+		t.Error("Tie nodes should be shared singletons")
+	}
+	f1, f2 := b.Fresh("tmp"), b.Fresh("tmp")
+	if f1 != f2 {
+		// Fresh doesn't reserve, so identical until the name is used.
+		t.Errorf("Fresh without creation should be stable: %s vs %s", f1, f2)
+	}
+	b.Node(f1)
+	if b.Fresh("tmp") == f1 {
+		t.Error("Fresh should skip used names")
+	}
+	brk := b.Breakable(n, m, "wire")
+	tr := b.Net.Transistor(brk)
+	if tr.Gate != b.TieHi() || tr.Strength != 2 {
+		t.Error("Breakable should be a strongest-class transistor gated by TieHi")
+	}
+	shrt := b.BridgeCandidate(n, m, "short")
+	tr = b.Net.Transistor(shrt)
+	if tr.Gate != b.TieLo() || tr.Strength != 2 {
+		t.Error("BridgeCandidate should be a strongest-class transistor gated by TieLo")
+	}
+	b.Finalize()
+}
+
+func TestFormatRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 10; i++ {
+		c := testnet.Structured(rng)
+		var buf bytes.Buffer
+		if err := netlist.Write(&buf, c.Net); err != nil {
+			t.Fatal(err)
+		}
+		got, err := netlist.Read(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("re-read failed: %v\n%s", err, buf.String())
+		}
+		if got.NumNodes() != c.Net.NumNodes() || got.NumTransistors() != c.Net.NumTransistors() {
+			t.Fatalf("round trip size mismatch: %v vs %v", got.Stats(), c.Net.Stats())
+		}
+		// Spot-check structural identity: same names, same per-node degrees.
+		for n := 0; n < got.NumNodes(); n++ {
+			id := netlist.NodeID(n)
+			name := got.Name(id)
+			orig := c.Net.MustLookup(name)
+			if len(got.Channel(id)) != len(c.Net.Channel(orig)) {
+				t.Errorf("node %s channel degree differs after round trip", name)
+			}
+			if got.Node(id).Kind != c.Net.Node(orig).Kind {
+				t.Errorf("node %s kind differs after round trip", name)
+			}
+		}
+	}
+}
+
+func TestReadFormat(t *testing.T) {
+	src := `| comment line
+scale 2 3
+input clk 0
+input d X
+node store
+node bus 2
+n clk d store 3
+d store Vdd store 1
+# another comment
+n store bus Gnd 2
+`
+	nw, err := netlist.Read(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nw.Scale.Sizes != 2 || nw.Scale.Strengths != 3 {
+		t.Errorf("scale = %+v", nw.Scale)
+	}
+	// Vdd/Gnd implicitly declared as inputs.
+	for _, rail := range []string{"Vdd", "Gnd"} {
+		id := nw.Lookup(rail)
+		if id == netlist.NoNode || nw.Node(id).Kind != netlist.Input {
+			t.Errorf("%s should be an implicit input", rail)
+		}
+	}
+	if nw.Node(nw.MustLookup("bus")).Size != 2 {
+		t.Error("bus size should be 2")
+	}
+	if nw.NumTransistors() != 3 {
+		t.Errorf("got %d transistors", nw.NumTransistors())
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	cases := map[string]string{
+		"unknown decl":        "frobnicate a b\n",
+		"bad scale arity":     "scale 2\n",
+		"bad scale values":    "scale x y\n",
+		"scale after decl":    "node a\nscale 2 2\n",
+		"bad input value":     "input a 7\n",
+		"bad node size":       "node a q\n",
+		"bad trans arity":     "n a b\n",
+		"bad strength":        "n a b c q\n",
+		"strength too big":    "scale 1 1\nn a b c 9\n",
+		"duplicate node":      "node a\nnode a\n",
+		"source equals drain": "n g a a\n",
+		"empty":               "",
+		"only comments":       "| nothing\n",
+	}
+	for name, src := range cases {
+		if _, err := netlist.Read(strings.NewReader(src)); err == nil {
+			t.Errorf("%s: expected parse error for %q", name, src)
+		}
+	}
+}
+
+func TestLint(t *testing.T) {
+	b := netlist.NewBuilder(logic.Scale{Sizes: 1, Strengths: 1})
+	in := b.Input("in", logic.Lo)
+	out := b.Node("out")
+	b.N(in, out, b.Gnd, "pd")
+	b.Node("floating")
+	gateOnly := b.Node("gateonly")
+	other := b.Node("other")
+	b.N(gateOnly, other, b.Gnd, "go")
+	b.N(b.Vdd, out, b.Gnd, "railgated")
+	nw := b.Finalize()
+
+	issues := netlist.Lint(nw)
+	if netlist.HasErrors(issues) {
+		t.Errorf("unexpected lint errors: %v", issues)
+	}
+	var text []string
+	for _, is := range issues {
+		text = append(text, is.String())
+	}
+	joined := strings.Join(text, "\n")
+	for _, want := range []string{"floating", "gateonly", "power rail"} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("lint output missing %q:\n%s", want, joined)
+		}
+	}
+}
+
+func TestLintBadRails(t *testing.T) {
+	nw := netlist.New(logic.DefaultScale)
+	if _, err := nw.AddStorage("Vdd", 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := nw.AddInput("Gnd", logic.Hi); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := nw.AddInput("in", logic.Lo); err != nil {
+		t.Fatal(err)
+	}
+	if err := nw.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	issues := netlist.Lint(nw)
+	if !netlist.HasErrors(issues) {
+		t.Errorf("storage Vdd and Gnd=1 should be lint errors: %v", issues)
+	}
+}

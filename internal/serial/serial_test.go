@@ -1,0 +1,151 @@
+package serial_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"fmossim/internal/core"
+	"fmossim/internal/fault"
+	"fmossim/internal/march"
+	"fmossim/internal/netlist"
+	"fmossim/internal/ram"
+	"fmossim/internal/serial"
+	"fmossim/internal/testnet"
+)
+
+func TestSerialDetectsSameFaultsAsConcurrent(t *testing.T) {
+	// On random structured circuits, the serial and concurrent
+	// simulators must agree on which faults are detected and where
+	// (pattern/setting/output/values), fault by fault.
+	nSeeds := int64(12)
+	if testing.Short() {
+		nSeeds = 4
+	}
+	for seed := int64(0); seed < nSeeds; seed++ {
+		rng := rand.New(rand.NewSource(seed + 100))
+		tc := testnet.Structured(rng)
+		nw := tc.Net
+		all := append(fault.NodeStuckFaults(nw, fault.Options{}),
+			fault.TransistorStuckFaults(nw, fault.Options{})...)
+		faults := fault.Sample(all, 16, rng)
+		seq := tc.RandomSequence(rng, 12, 0)
+
+		sres, err := serial.Run(nw, faults, seq, serial.Options{
+			Observe: tc.Outputs, StopOnDetect: true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		csim, err := core.New(nw, faults, core.Options{Observe: tc.Outputs})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cres := csim.Run(seq)
+
+		if sres.Detected() != cres.Detected {
+			t.Errorf("seed %d: serial detected %d, concurrent %d", seed, sres.Detected(), cres.Detected)
+		}
+		for i := range faults {
+			sd := sres.PerFault[i]
+			cd, ok := csim.Detected(i)
+			if sd.Oscillated || csim.Oscillated(i) {
+				continue // X-resolution is event-order dependent
+			}
+			if sd.Detected != ok {
+				t.Errorf("seed %d fault %d (%s): serial detected=%v concurrent=%v",
+					seed, i, faults[i].Describe(nw), sd.Detected, ok)
+				continue
+			}
+			if !ok {
+				continue
+			}
+			if sd.Pattern != cd.Pattern || sd.Setting != cd.Setting ||
+				sd.Output != cd.Output || sd.Good != cd.Good || sd.Faulty != cd.Faulty {
+				t.Errorf("seed %d fault %d (%s): serial det %d/%d@%s %s vs %s, concurrent %d/%d@%s %s vs %s",
+					seed, i, faults[i].Describe(nw),
+					sd.Pattern, sd.Setting, nw.Name(sd.Output), sd.Good, sd.Faulty,
+					cd.Pattern, cd.Setting, nw.Name(cd.Output), cd.Good, cd.Faulty)
+			}
+		}
+	}
+}
+
+func TestSerialStopOnDetectShortensWork(t *testing.T) {
+	m := ram.New(ram.Config{Rows: 4, Cols: 4})
+	faults := fault.Sample(fault.NodeStuckFaults(m.Net, fault.Options{}), 10,
+		rand.New(rand.NewSource(3)))
+	seq := march.Sequence1(m)
+	opts := serial.Options{Observe: []netlist.NodeID{m.DataOut}, StopOnDetect: true}
+	stop, err := serial.Run(m.Net, faults, seq, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts.StopOnDetect = false
+	full, err := serial.Run(m.Net, faults, seq, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stop.Detected() != full.Detected() {
+		t.Errorf("detections differ: stop %d vs full %d", stop.Detected(), full.Detected())
+	}
+	if stop.FaultWork >= full.FaultWork {
+		t.Errorf("stopping early should cost less: %d vs %d", stop.FaultWork, full.FaultWork)
+	}
+	for i, fr := range stop.PerFault {
+		if fr.Detected && fr.PatternsSimulated != fr.Pattern+1 {
+			t.Errorf("fault %d: simulated %d patterns, detected at %d", i, fr.PatternsSimulated, fr.Pattern)
+		}
+	}
+}
+
+func TestSerialGoodPerPattern(t *testing.T) {
+	m := ram.New(ram.Config{Rows: 4, Cols: 4})
+	seq := march.Sequence1(m)
+	res, err := serial.Run(m.Net, nil, seq, serial.Options{Observe: []netlist.NodeID{m.DataOut}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.GoodPerPattern) != len(seq.Patterns) {
+		t.Fatalf("per-pattern entries %d, want %d", len(res.GoodPerPattern), len(seq.Patterns))
+	}
+	var sum int64
+	for _, w := range res.GoodPerPattern {
+		if w < 0 {
+			t.Error("negative per-pattern work")
+		}
+		sum += w
+	}
+	if sum <= 0 || sum > res.GoodWork {
+		t.Errorf("per-pattern sum %d vs total %d", sum, res.GoodWork)
+	}
+	if res.Coverage() != 0 || res.NumFaults != 0 {
+		t.Error("empty fault list should have zero coverage")
+	}
+}
+
+func TestSerialRequiresObserve(t *testing.T) {
+	m := ram.New(ram.Config{Rows: 4, Cols: 4})
+	if _, err := serial.Run(m.Net, nil, march.Sequence1(m), serial.Options{}); err == nil {
+		t.Error("Run without observed outputs should fail")
+	}
+}
+
+func TestEstimate(t *testing.T) {
+	// Three faults detected at patterns 0, 4, and never (10-pattern
+	// sequence); good cost 100 units/pattern.
+	per := make([]int64, 10)
+	for i := range per {
+		per[i] = 100
+	}
+	got := serial.Estimate([]int{0, 4, -1}, per, 10)
+	want := int64(100*1 + 100*5 + 100*10)
+	if got != want {
+		t.Errorf("Estimate = %d, want %d", got, want)
+	}
+	if serial.Estimate(nil, per, 10) != 0 {
+		t.Error("no faults should estimate 0")
+	}
+	if serial.Estimate([]int{0}, nil, 0) != 0 {
+		t.Error("degenerate inputs should estimate 0")
+	}
+}

@@ -1,0 +1,116 @@
+// Package stats provides the small numeric helpers the benchmark harness
+// uses to summarize and validate experiment series: means, ratios, and
+// least-squares linear fits (Figure 3's linearity check).
+package stats
+
+import "math"
+
+// Sum returns the sum of xs.
+func Sum(xs []float64) float64 {
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}
+
+// SumInt64 returns the sum of xs.
+func SumInt64(xs []int64) int64 {
+	var s int64
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}
+
+// Mean returns the arithmetic mean of xs (0 for empty input).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	return Sum(xs) / float64(len(xs))
+}
+
+// MeanInt64 returns the mean of xs as a float (0 for empty input).
+func MeanInt64(xs []int64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	return float64(SumInt64(xs)) / float64(len(xs))
+}
+
+// Ratio returns a/b, or 0 when b is 0.
+func Ratio(a, b float64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return a / b
+}
+
+// Fit is a least-squares line y = Slope*x + Intercept with goodness R2.
+type Fit struct {
+	Slope, Intercept, R2 float64
+}
+
+// LinearFit computes the least-squares fit of y against x. Inputs must
+// have equal length ≥ 2; degenerate inputs return a zero Fit.
+func LinearFit(x, y []float64) Fit {
+	n := len(x)
+	if n != len(y) || n < 2 {
+		return Fit{}
+	}
+	mx, my := Mean(x), Mean(y)
+	var sxx, sxy, syy float64
+	for i := 0; i < n; i++ {
+		dx, dy := x[i]-mx, y[i]-my
+		sxx += dx * dx
+		sxy += dx * dy
+		syy += dy * dy
+	}
+	if sxx == 0 {
+		return Fit{}
+	}
+	slope := sxy / sxx
+	fit := Fit{Slope: slope, Intercept: my - slope*mx}
+	if syy == 0 {
+		fit.R2 = 1
+	} else {
+		fit.R2 = (sxy * sxy) / (sxx * syy)
+	}
+	return fit
+}
+
+// Median returns the median of xs (0 for empty input); xs is not modified.
+func Median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	cp := append([]float64(nil), xs...)
+	// Insertion sort: the harness's series are short.
+	for i := 1; i < len(cp); i++ {
+		for j := i; j > 0 && cp[j] < cp[j-1]; j-- {
+			cp[j], cp[j-1] = cp[j-1], cp[j]
+		}
+	}
+	m := len(cp) / 2
+	if len(cp)%2 == 1 {
+		return cp[m]
+	}
+	return (cp[m-1] + cp[m]) / 2
+}
+
+// MaxAbsRelErr returns the largest |y[i]-fit(x[i])| / max|y| over the
+// series: a scale-free linearity residual.
+func MaxAbsRelErr(x, y []float64, f Fit) float64 {
+	var maxAbs, maxErr float64
+	for _, v := range y {
+		maxAbs = math.Max(maxAbs, math.Abs(v))
+	}
+	if maxAbs == 0 {
+		return 0
+	}
+	for i := range x {
+		maxErr = math.Max(maxErr, math.Abs(y[i]-(f.Slope*x[i]+f.Intercept)))
+	}
+	return maxErr / maxAbs
+}

@@ -1,0 +1,133 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestSumMean(t *testing.T) {
+	if Sum(nil) != 0 || Mean(nil) != 0 {
+		t.Error("empty inputs should give 0")
+	}
+	if !almost(Sum([]float64{1, 2, 3.5}), 6.5) {
+		t.Error("Sum wrong")
+	}
+	if !almost(Mean([]float64{2, 4, 6}), 4) {
+		t.Error("Mean wrong")
+	}
+	if SumInt64([]int64{5, -2}) != 3 || !almost(MeanInt64([]int64{4, 8}), 6) {
+		t.Error("int64 helpers wrong")
+	}
+	if MeanInt64(nil) != 0 {
+		t.Error("MeanInt64(nil) should be 0")
+	}
+}
+
+func TestRatio(t *testing.T) {
+	if !almost(Ratio(6, 3), 2) {
+		t.Error("Ratio wrong")
+	}
+	if Ratio(1, 0) != 0 {
+		t.Error("Ratio by zero should be 0")
+	}
+}
+
+func TestLinearFitExact(t *testing.T) {
+	// y = 3x + 2 exactly.
+	x := []float64{0, 1, 2, 3, 4}
+	y := make([]float64, len(x))
+	for i := range x {
+		y[i] = 3*x[i] + 2
+	}
+	f := LinearFit(x, y)
+	if !almost(f.Slope, 3) || !almost(f.Intercept, 2) || !almost(f.R2, 1) {
+		t.Errorf("fit = %+v, want slope 3 intercept 2 R2 1", f)
+	}
+	if r := MaxAbsRelErr(x, y, f); !almost(r, 0) {
+		t.Errorf("residual %f, want 0", r)
+	}
+}
+
+func TestLinearFitNoisy(t *testing.T) {
+	x := []float64{0, 1, 2, 3}
+	y := []float64{0.1, 0.9, 2.1, 2.9}
+	f := LinearFit(x, y)
+	if f.Slope < 0.9 || f.Slope > 1.1 {
+		t.Errorf("slope %f, want ~1", f.Slope)
+	}
+	if f.R2 < 0.98 {
+		t.Errorf("R2 %f, want near 1", f.R2)
+	}
+}
+
+func TestLinearFitDegenerate(t *testing.T) {
+	if f := LinearFit([]float64{1}, []float64{1}); f != (Fit{}) {
+		t.Error("single point should give zero fit")
+	}
+	if f := LinearFit([]float64{1, 2}, []float64{1}); f != (Fit{}) {
+		t.Error("length mismatch should give zero fit")
+	}
+	if f := LinearFit([]float64{2, 2, 2}, []float64{1, 2, 3}); f != (Fit{}) {
+		t.Error("vertical data should give zero fit")
+	}
+	// Horizontal line: slope 0, perfect fit.
+	f := LinearFit([]float64{1, 2, 3}, []float64{5, 5, 5})
+	if !almost(f.Slope, 0) || !almost(f.Intercept, 5) || !almost(f.R2, 1) {
+		t.Errorf("horizontal fit = %+v", f)
+	}
+}
+
+func TestMedian(t *testing.T) {
+	if Median(nil) != 0 {
+		t.Error("empty median should be 0")
+	}
+	if !almost(Median([]float64{3, 1, 2}), 2) {
+		t.Error("odd median wrong")
+	}
+	if !almost(Median([]float64{4, 1, 3, 2}), 2.5) {
+		t.Error("even median wrong")
+	}
+	// Median must not modify its input.
+	xs := []float64{3, 1, 2}
+	Median(xs)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Error("Median modified its input")
+	}
+}
+
+func TestFitResidualProperty(t *testing.T) {
+	// For any data, the least-squares line minimizes the sum of squared
+	// residuals among lines; in particular it beats the horizontal line
+	// through the mean.
+	f := func(raw []float64) bool {
+		if len(raw) < 4 {
+			return true
+		}
+		n := len(raw) / 2
+		x, y := raw[:n], raw[n:2*n]
+		for _, v := range append(x, y...) {
+			if math.IsNaN(v) || math.IsInf(v, 0) || math.Abs(v) > 1e6 {
+				return true
+			}
+		}
+		fit := LinearFit(x, y)
+		if fit == (Fit{}) {
+			return true
+		}
+		ssFit, ssMean := 0.0, 0.0
+		my := Mean(y)
+		for i := range x {
+			d := y[i] - (fit.Slope*x[i] + fit.Intercept)
+			ssFit += d * d
+			dm := y[i] - my
+			ssMean += dm * dm
+		}
+		return ssFit <= ssMean+1e-6*math.Max(1, ssMean)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

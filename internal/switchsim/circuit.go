@@ -1,0 +1,298 @@
+package switchsim
+
+import (
+	"fmt"
+
+	"fmossim/internal/logic"
+	"fmossim/internal/netlist"
+)
+
+// Tables holds per-network constant lookups shared by all circuits over
+// the same network: the strength-scale positions of node charges and
+// transistor drives.
+type Tables struct {
+	Net *netlist.Network
+	// Charge[n] is the charge strength κ of storage node n, or ω for an
+	// input node.
+	Charge []logic.Strength
+	// Drive[t] is the drive strength γ of transistor t.
+	Drive []logic.Strength
+}
+
+// NewTables precomputes strength tables for a finalized network.
+func NewTables(nw *netlist.Network) *Tables {
+	if !nw.Finalized() {
+		panic("switchsim: network not finalized")
+	}
+	tab := &Tables{
+		Net:    nw,
+		Charge: make([]logic.Strength, nw.NumNodes()),
+		Drive:  make([]logic.Strength, nw.NumTransistors()),
+	}
+	for i := 0; i < nw.NumNodes(); i++ {
+		tab.Charge[i] = nw.ChargeStrength(netlist.NodeID(i))
+	}
+	for i := 0; i < nw.NumTransistors(); i++ {
+		tab.Drive[i] = nw.DriveStrength(netlist.TransID(i))
+	}
+	return tab
+}
+
+const (
+	unpinned = int8(-1)
+	unforced = int8(-1)
+)
+
+// Circuit is the dynamic state of one circuit instance (good or faulty):
+// node values, transistor conduction states, and the fault pins applied to
+// this instance. Multiple Circuits may share one Tables.
+type Circuit struct {
+	Tab *Tables
+
+	// val[n] is the current state of node n.
+	val []logic.Value
+	// ts[t] is the current conduction state of transistor t.
+	ts []logic.Value
+
+	// pinTrans[t] pins transistor t's conduction state (stuck-open = 0,
+	// stuck-closed = 1), or unpinned. Per the paper, a transistor fault
+	// leaves the strength unchanged.
+	pinTrans []int8
+	// forceNode[n] makes node n behave as an input node set to the given
+	// state (node stuck-at faults), or unforced.
+	forceNode []int8
+	// nPins/nForces track whether any pins exist, to fast-path the good
+	// circuit.
+	nPins, nForces int
+}
+
+// NewCircuit allocates a circuit over the given tables with all nodes at
+// their declared initial states.
+func NewCircuit(tab *Tables) *Circuit {
+	c := &Circuit{
+		Tab:       tab,
+		val:       make([]logic.Value, tab.Net.NumNodes()),
+		ts:        make([]logic.Value, tab.Net.NumTransistors()),
+		pinTrans:  make([]int8, tab.Net.NumTransistors()),
+		forceNode: make([]int8, tab.Net.NumNodes()),
+	}
+	for i := range c.pinTrans {
+		c.pinTrans[i] = unpinned
+	}
+	for i := range c.forceNode {
+		c.forceNode[i] = unforced
+	}
+	c.Reset()
+	return c
+}
+
+// Reset restores declared initial states (inputs to Init, storage to X,
+// forced nodes to their pins) and recomputes all transistor states. Fault
+// pins are preserved; use ClearFaults to remove them.
+func (c *Circuit) Reset() {
+	nw := c.Tab.Net
+	for i := 0; i < nw.NumNodes(); i++ {
+		if c.forceNode[i] != unforced {
+			c.val[i] = logic.Value(c.forceNode[i])
+			continue
+		}
+		n := nw.Node(netlist.NodeID(i))
+		if n.Kind == netlist.Input {
+			c.val[i] = n.Init
+		} else {
+			c.val[i] = logic.X
+		}
+	}
+	c.RecomputeTransistors()
+}
+
+// RecomputeTransistors derives every transistor's conduction state from
+// its gate node (or pin).
+func (c *Circuit) RecomputeTransistors() {
+	nw := c.Tab.Net
+	for i := 0; i < nw.NumTransistors(); i++ {
+		c.ts[i] = c.transistorState(netlist.TransID(i))
+	}
+}
+
+func (c *Circuit) transistorState(t netlist.TransID) logic.Value {
+	if c.pinTrans[t] != unpinned {
+		return logic.Value(c.pinTrans[t])
+	}
+	tr := c.Tab.Net.Transistor(t)
+	return logic.SwitchState(tr.Type, c.val[tr.Gate])
+}
+
+// Value returns the current state of node n.
+func (c *Circuit) Value(n netlist.NodeID) logic.Value { return c.val[n] }
+
+// ValueOf returns the current state of the named node.
+func (c *Circuit) ValueOf(name string) logic.Value {
+	return c.val[c.Tab.Net.MustLookup(name)]
+}
+
+// TransState returns the current conduction state of transistor t.
+func (c *Circuit) TransState(t netlist.TransID) logic.Value { return c.ts[t] }
+
+// IsInputLike reports whether node n acts as a signal source: a declared
+// input node or a node forced by a stuck-at fault.
+func (c *Circuit) IsInputLike(n netlist.NodeID) bool {
+	return c.forceNode[n] != unforced || c.Tab.Net.Node(n).Kind == netlist.Input
+}
+
+// PinTransistor pins transistor t's conduction state (stuck-open: Lo,
+// stuck-closed: Hi) and returns the storage-node terminals perturbed by
+// the change, which the caller should settle.
+func (c *Circuit) PinTransistor(t netlist.TransID, state logic.Value) []netlist.NodeID {
+	if c.pinTrans[t] == unpinned {
+		c.nPins++
+	}
+	c.pinTrans[t] = int8(state)
+	return c.applyTransState(t)
+}
+
+// UnpinTransistor removes a pin, returning perturbed terminals.
+func (c *Circuit) UnpinTransistor(t netlist.TransID) []netlist.NodeID {
+	if c.pinTrans[t] != unpinned {
+		c.nPins--
+	}
+	c.pinTrans[t] = unpinned
+	return c.applyTransState(t)
+}
+
+func (c *Circuit) applyTransState(t netlist.TransID) []netlist.NodeID {
+	ns := c.transistorState(t)
+	if ns == c.ts[t] {
+		return nil
+	}
+	c.ts[t] = ns
+	tr := c.Tab.Net.Transistor(t)
+	var seeds []netlist.NodeID
+	if !c.IsInputLike(tr.Source) {
+		seeds = append(seeds, tr.Source)
+	}
+	if !c.IsInputLike(tr.Drain) {
+		seeds = append(seeds, tr.Drain)
+	}
+	return seeds
+}
+
+// ForceNode pins node n to a state: n behaves as an input node set to the
+// specified state (a node stuck-at fault). Returns perturbed nodes: n's
+// conducting neighbors plus terminals of transistors n gates.
+func (c *Circuit) ForceNode(n netlist.NodeID, state logic.Value) []netlist.NodeID {
+	if c.forceNode[n] == unforced {
+		c.nForces++
+	}
+	c.forceNode[n] = int8(state)
+	return c.setNodeValue(n, state)
+}
+
+// UnforceNode removes a node force. The node keeps the forced value as
+// charge until the network next drives it.
+func (c *Circuit) UnforceNode(n netlist.NodeID) []netlist.NodeID {
+	if c.forceNode[n] != unforced {
+		c.nForces--
+	}
+	c.forceNode[n] = unforced
+	// The node's stored value is now ordinary charge; neighbors must
+	// re-settle since the strong source disappeared.
+	return c.perturbAround(n)
+}
+
+// Faulty reports whether this circuit carries any pins or forces.
+func (c *Circuit) Faulty() bool { return c.nPins > 0 || c.nForces > 0 }
+
+// ClearFaults removes every pin and force.
+func (c *Circuit) ClearFaults() {
+	for i := range c.pinTrans {
+		c.pinTrans[i] = unpinned
+	}
+	for i := range c.forceNode {
+		c.forceNode[i] = unforced
+	}
+	c.nPins, c.nForces = 0, 0
+}
+
+// SetInput assigns a value to an input node and returns the perturbed
+// storage nodes. Assigning a forced (faulted) input is a no-op: the fault
+// wins, exactly as a stuck line ignores its driver.
+func (c *Circuit) SetInput(n netlist.NodeID, v logic.Value) []netlist.NodeID {
+	if c.forceNode[n] != unforced {
+		return nil
+	}
+	if c.Tab.Net.Node(n).Kind != netlist.Input {
+		panic(fmt.Sprintf("switchsim: SetInput on storage node %q", c.Tab.Net.Name(n)))
+	}
+	return c.setNodeValue(n, v)
+}
+
+// setNodeValue writes a source-node value and computes the perturbation
+// set: terminals of gated transistors whose state changed, plus storage
+// nodes connected to n by a conducting transistor.
+func (c *Circuit) setNodeValue(n netlist.NodeID, v logic.Value) []netlist.NodeID {
+	if c.val[n] == v {
+		return nil
+	}
+	c.val[n] = v
+	return c.perturbAround(n)
+}
+
+func (c *Circuit) perturbAround(n netlist.NodeID) []netlist.NodeID {
+	nw := c.Tab.Net
+	var seeds []netlist.NodeID
+	// Transistors gated by n change conduction state.
+	for _, t := range nw.GatedBy(n) {
+		seeds = append(seeds, c.applyTransState(t)...)
+	}
+	// Storage nodes connected to n by a conducting (1 or X) transistor
+	// are perturbed by the new source value.
+	for _, t := range nw.Channel(n) {
+		if c.ts[t] == logic.Lo {
+			continue
+		}
+		other := nw.Transistor(t).Other(n)
+		if !c.IsInputLike(other) {
+			seeds = append(seeds, other)
+		}
+	}
+	if !c.IsInputLike(n) {
+		seeds = append(seeds, n)
+	}
+	return seeds
+}
+
+// OverrideValue writes a node value directly, without perturbation
+// bookkeeping or transistor updates. Used by the concurrent simulator to
+// overlay divergence records onto a copied good state; callers must
+// follow up with RefreshGates for every overridden node.
+func (c *Circuit) OverrideValue(n netlist.NodeID, v logic.Value) {
+	c.val[n] = v
+}
+
+// RefreshGates recomputes the conduction states of the transistors gated
+// by node n from its current value (and any pins).
+func (c *Circuit) RefreshGates(n netlist.NodeID) {
+	for _, t := range c.Tab.Net.GatedBy(n) {
+		c.ts[t] = c.transistorState(t)
+	}
+}
+
+// CopyStateFrom copies node values and transistor states from src, which
+// must share the same Tables. Pins and forces are not copied; callers
+// overlay them afterwards. This is the materialization step the concurrent
+// simulator uses to build a faulty circuit's view from the good circuit.
+func (c *Circuit) CopyStateFrom(src *Circuit) {
+	if c.Tab != src.Tab {
+		panic("switchsim: CopyStateFrom across different networks")
+	}
+	copy(c.val, src.val)
+	copy(c.ts, src.ts)
+}
+
+// Snapshot returns a copy of all node values (for tests and traces).
+func (c *Circuit) Snapshot() []logic.Value {
+	out := make([]logic.Value, len(c.val))
+	copy(out, c.val)
+	return out
+}

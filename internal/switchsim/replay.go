@@ -1,0 +1,240 @@
+package switchsim
+
+import (
+	"fmossim/internal/logic"
+	"fmossim/internal/netlist"
+)
+
+// SettleReplay settles circuit c — a faulty circuit's materialized
+// pre-step view — against the good circuit's recorded trajectory. This is
+// the concurrent simulator's fast path: regions where the faulty circuit
+// provably behaves identically to the good circuit are not re-solved;
+// their recorded changes are adopted instead.
+//
+// The replay reproduces a standalone simulation of the faulty circuit
+// exactly, including within-round processing order: the seeds are the
+// circuit's own response to the input setting, further perturbations arise
+// solely from gate switching, and each round's pending vicinities are
+// serviced in pend-queue order — by adoption when the pending node lies in
+// an unflagged trajectory vicinity of the same round (its membership,
+// boundary, charge state, and position in the processing order all match
+// the good circuit's, so its response is the good circuit's recorded
+// response), and by a full switch-level solve otherwise. Trajectory
+// vicinities not reached by the circuit's own pend queue are never
+// adopted: the faulty circuit was not perturbed there ("divergence by
+// inaction" — the caller's good-changed diff records the difference).
+//
+// Flags blocking adoption accumulate per replay: the static interest set
+// (divergence records and their gated terminals, fault sites), members of
+// vicinities this replay solves, the channel terminals of transistors
+// those members gate, and the change sites of unadopted trajectory
+// vicinities (with their gated terminals). Blocking is conservative: a
+// blocked-but-identical vicinity is simply solved by the wave with the
+// same result, at the cost of extra work.
+func (s *Solver) SettleReplay(c *Circuit, seeds []netlist.NodeID, traj Trajectory, interesting func(netlist.NodeID) bool) SettleResult {
+	nw := s.tab.Net
+	s.work.Settles++
+	s.exploredEpoch++
+	s.explored = s.explored[:0]
+	s.changedEpoch++
+	s.changed = s.changed[:0]
+	s.dynEpoch++
+
+	maxRounds := s.MaxRounds
+	if maxRounds <= 0 {
+		maxRounds = s.defaultMaxRounds()
+	}
+	hardCap := maxRounds + 2*(nw.NumNodes()+nw.NumTransistors()) + 16
+
+	var pend, next []netlist.NodeID
+	s.pendEpoch++
+	for _, n := range seeds {
+		if c.IsInputLike(n) || s.pendStamp[n] == s.pendEpoch {
+			continue
+		}
+		s.pendStamp[n] = s.pendEpoch
+		pend = append(pend, n)
+	}
+
+	res := SettleResult{}
+	var newVal []logic.Value
+	xmode := false
+
+	// propagate switches the transistors gated by a changed node and
+	// schedules the perturbed terminals for the next round.
+	propagate := func(u netlist.NodeID) {
+		for _, t := range nw.GatedBy(u) {
+			ns := c.transistorState(t)
+			if ns == c.ts[t] {
+				continue
+			}
+			c.ts[t] = ns
+			tr := nw.Transistor(t)
+			for _, w := range [2]netlist.NodeID{tr.Source, tr.Drain} {
+				if c.IsInputLike(w) || s.pendStamp[w] == s.pendEpoch {
+					continue
+				}
+				s.pendStamp[w] = s.pendEpoch
+				next = append(next, w)
+			}
+		}
+	}
+
+	// markDiverged flags a node that may now differ from the good
+	// circuit, together with the channel terminals of the transistors it
+	// gates (which may consequently switch differently).
+	markDiverged := func(u netlist.NodeID) {
+		s.markDyn(u)
+		for _, t := range nw.GatedBy(u) {
+			tr := nw.Transistor(t)
+			s.markDyn(tr.Source)
+			s.markDyn(tr.Drain)
+		}
+	}
+
+	for round := 0; len(pend) > 0 || round < len(traj); round++ {
+		res.Rounds++
+		s.work.Rounds++
+		if res.Rounds > maxRounds && !xmode {
+			xmode = true
+			res.Oscillated = true
+		}
+		if res.Rounds > hardCap {
+			for _, n := range pend {
+				if c.val[n] != logic.X {
+					c.val[n] = logic.X
+					s.noteChanged(n)
+				}
+			}
+			break
+		}
+
+		s.epoch++ // vicinity stamps for this round
+		next = next[:0]
+		s.pendEpoch++
+
+		var trajRound []VicTrace
+		if round < len(traj) {
+			trajRound = traj[round]
+		}
+		// Index this round's trajectory vicinities by member node.
+		for vi := range trajRound {
+			for _, u := range trajRound[vi].Members {
+				s.work.AdoptedChanges++ // indexing cost, counted honestly
+				s.nodeVic[u] = int32(vi)
+				s.nodeVicStamp[u] = s.epoch
+			}
+		}
+		if cap(s.vicAdopted) < len(trajRound) {
+			s.vicAdopted = make([]bool, len(trajRound)*2)
+		}
+		flagged := s.vicAdopted[:len(trajRound)]
+		for i := range flagged {
+			flagged[i] = false
+		}
+
+		// Pass A — divergence-marking fixpoint over the round's
+		// trajectory vicinities. The good circuit propagates eagerly
+		// within a round, so one round's trajectory can contain chains of
+		// dependent vicinities; a vicinity whose changes this circuit
+		// will not follow must poison downstream vicinities of the SAME
+		// round before any adoption decision is made.
+		for again := true; again; {
+			again = false
+			for vi := range trajRound {
+				if flagged[vi] {
+					continue
+				}
+				vt := &trajRound[vi]
+				for _, u := range vt.Members {
+					s.work.AdoptedChanges++
+					if s.dynStamp[u] == s.dynEpoch || c.IsInputLike(u) || interesting(u) {
+						flagged[vi] = true
+						again = true
+						// The unfollowed changes may leave these nodes —
+						// and the transistors they gate — diverged.
+						for _, ch := range vt.Changes {
+							markDiverged(ch.Node)
+						}
+						break
+					}
+				}
+			}
+		}
+
+		// Pass B — service the pend queue in order: adopt where provably
+		// identical (re-checking against marks added by this pass's own
+		// solves), solve otherwise.
+		for _, seed := range pend {
+			if c.IsInputLike(seed) || s.stamp[seed] == s.epoch {
+				continue // forced by the fault, or already serviced
+			}
+			if s.nodeVicStamp[seed] == s.epoch && !flagged[s.nodeVic[seed]] {
+				vi := s.nodeVic[seed]
+				vt := &trajRound[vi]
+				adoptable := true
+				for _, u := range vt.Members {
+					s.work.AdoptedChanges++
+					if s.dynStamp[u] == s.dynEpoch {
+						adoptable = false
+						break
+					}
+				}
+				if adoptable {
+					for _, u := range vt.Members {
+						s.stamp[u] = s.epoch // serviced
+					}
+					for _, ch := range vt.Changes {
+						u := ch.Node
+						nv := ch.Value
+						if xmode {
+							nv = logic.Lub(c.val[u], nv)
+						}
+						s.work.AdoptedChanges++
+						if nv == c.val[u] {
+							continue
+						}
+						c.val[u] = nv
+						s.noteChanged(u)
+						propagate(u)
+					}
+					continue
+				}
+			}
+			// Solve with full switch-level dynamics.
+			if !s.exploreVicinity(c, seed) {
+				continue
+			}
+			for _, u := range s.vic {
+				if s.exploredStamp[u] != s.exploredEpoch {
+					s.exploredStamp[u] = s.exploredEpoch
+					s.explored = append(s.explored, u)
+				}
+				markDiverged(u)
+			}
+			if cap(newVal) < len(s.vic) {
+				newVal = make([]logic.Value, len(s.vic)*2)
+			}
+			newVal = newVal[:len(s.vic)]
+			s.solveVicinity(c, newVal)
+			for i, u := range s.vic {
+				nv := newVal[i]
+				if xmode {
+					nv = logic.Lub(c.val[u], nv)
+				}
+				if nv == c.val[u] {
+					continue
+				}
+				c.val[u] = nv
+				s.noteChanged(u)
+				propagate(u)
+			}
+		}
+
+		pend, next = next, pend
+	}
+
+	res.Changed = s.changed
+	res.Explored = s.explored
+	return res
+}

@@ -1,0 +1,227 @@
+package switchsim
+
+import (
+	"fmossim/internal/logic"
+	"fmossim/internal/netlist"
+)
+
+// SettleResult reports the outcome of one steady-state settling.
+//
+// Changed and Explored reference solver-owned scratch storage and are
+// valid only until the next Settle/Step call on the same Solver; callers
+// that need them longer must copy.
+type SettleResult struct {
+	// Rounds is the number of unit-delay rounds performed.
+	Rounds int
+	// Oscillated reports that the round limit was hit and oscillating
+	// nodes were resolved upward to X.
+	Oscillated bool
+	// Changed lists storage nodes whose value changed at least once
+	// during the settle, deduplicated.
+	Changed []netlist.NodeID
+	// Explored lists every storage node that was a member of any solved
+	// vicinity during the settle (a superset of Changed).
+	Explored []netlist.NodeID
+}
+
+// defaultMaxRounds bounds normal settling; a legitimate circuit settles in
+// a number of rounds on the order of its sequential depth.
+func (s *Solver) defaultMaxRounds() int {
+	n := s.tab.Net.NumNodes()
+	if n < 64 {
+		return 64
+	}
+	return 64 + n
+}
+
+// Change records one node's new value at a given settling round.
+type Change struct {
+	Node  netlist.NodeID
+	Value logic.Value
+}
+
+// VicTrace records one solved vicinity of a settling round: its member
+// nodes and the changes it produced.
+type VicTrace struct {
+	Members []netlist.NodeID
+	Changes []Change
+}
+
+// Trajectory is a full settling history: the solved vicinities of each
+// round, in order. It is the "good circuit script" the concurrent
+// simulator's faulty-circuit replays follow.
+type Trajectory [][]VicTrace
+
+// Settle drives the circuit to a steady state starting from the given
+// perturbed storage nodes, per the paper's scheduling: the simulation of a
+// vicinity causes nodes to change state, and activities are scheduled for
+// the vicinities affected by those changes (through the gates of
+// transistors). If the round limit is exceeded, the solver switches to
+// oscillation mode, where node updates are joined with their old value in
+// the information ordering so oscillating nodes resolve monotonically to X.
+//
+// When s.Record is true, the solver additionally appends the full
+// per-round trajectory to s.Traj (reset at each Settle).
+func (s *Solver) Settle(c *Circuit, seeds []netlist.NodeID) SettleResult {
+	nw := s.tab.Net
+	s.work.Settles++
+	s.exploredEpoch++
+	s.explored = s.explored[:0]
+	s.changedEpoch++
+	s.changed = s.changed[:0]
+
+	maxRounds := s.MaxRounds
+	if maxRounds <= 0 {
+		maxRounds = s.defaultMaxRounds()
+	}
+	// In X-mode each node value moves at most once (toward X) and each
+	// transistor follows, so settling is guaranteed within the hard cap.
+	hardCap := maxRounds + 2*(nw.NumNodes()+nw.NumTransistors()) + 16
+
+	var pend, next []netlist.NodeID
+	s.pendEpoch++
+	for _, n := range seeds {
+		if c.IsInputLike(n) || s.pendStamp[n] == s.pendEpoch {
+			continue
+		}
+		s.pendStamp[n] = s.pendEpoch
+		pend = append(pend, n)
+	}
+
+	res := SettleResult{}
+	var newVal []logic.Value
+	xmode := false
+	if s.Record {
+		s.Traj = s.Traj[:0]
+	}
+
+	for len(pend) > 0 {
+		res.Rounds++
+		s.work.Rounds++
+		if res.Rounds > maxRounds && !xmode {
+			xmode = true
+			res.Oscillated = true
+		}
+		if res.Rounds > hardCap {
+			// Unreachable in practice; resolve whatever is left to X and stop.
+			for _, n := range pend {
+				if c.val[n] != logic.X {
+					c.val[n] = logic.X
+					s.noteChanged(n)
+				}
+			}
+			break
+		}
+
+		s.epoch++ // fresh vicinity stamps for this round
+		next = next[:0]
+		s.pendEpoch++
+		var roundTrace []VicTrace
+
+		for _, seed := range pend {
+			if !s.exploreVicinity(c, seed) {
+				continue // input-like, or already solved this round
+			}
+			for _, u := range s.vic {
+				if s.exploredStamp[u] != s.exploredEpoch {
+					s.exploredStamp[u] = s.exploredEpoch
+					s.explored = append(s.explored, u)
+				}
+			}
+			if cap(newVal) < len(s.vic) {
+				newVal = make([]logic.Value, len(s.vic)*2)
+			}
+			newVal = newVal[:len(s.vic)]
+			s.solveVicinity(c, newVal)
+
+			var vt *VicTrace
+			if s.Record {
+				roundTrace = append(roundTrace, VicTrace{
+					Members: append([]netlist.NodeID(nil), s.vic...),
+				})
+				vt = &roundTrace[len(roundTrace)-1]
+			}
+
+			for i, u := range s.vic {
+				nv := newVal[i]
+				if xmode {
+					nv = logic.Lub(c.val[u], nv)
+				}
+				if nv == c.val[u] {
+					continue
+				}
+				c.val[u] = nv
+				s.noteChanged(u)
+				if vt != nil {
+					vt.Changes = append(vt.Changes, Change{Node: u, Value: nv})
+				}
+				// The state change switches the transistors this node
+				// gates; their channel terminals are perturbed next round.
+				for _, t := range nw.GatedBy(u) {
+					ns := c.transistorState(t)
+					if ns == c.ts[t] {
+						continue
+					}
+					c.ts[t] = ns
+					tr := nw.Transistor(t)
+					for _, w := range [2]netlist.NodeID{tr.Source, tr.Drain} {
+						if c.IsInputLike(w) || s.pendStamp[w] == s.pendEpoch {
+							continue
+						}
+						s.pendStamp[w] = s.pendEpoch
+						next = append(next, w)
+					}
+				}
+			}
+		}
+		if s.Record {
+			s.Traj = append(s.Traj, roundTrace)
+		}
+		pend, next = next, pend
+	}
+
+	res.Changed = s.changed
+	res.Explored = s.explored
+	return res
+}
+
+func (s *Solver) noteChanged(n netlist.NodeID) {
+	if s.changedStamp[n] != s.changedEpoch {
+		s.changedStamp[n] = s.changedEpoch
+		s.changed = append(s.changed, n)
+	}
+}
+
+// ApplySetting assigns the input values of one setting and returns the
+// union of the perturbed storage nodes (unsettled).
+func (s *Solver) ApplySetting(c *Circuit, setting Setting) []netlist.NodeID {
+	var seeds []netlist.NodeID
+	for _, a := range setting {
+		seeds = append(seeds, c.SetInput(a.Node, a.Value)...)
+	}
+	return seeds
+}
+
+// Step applies one input setting and settles the circuit.
+func (s *Solver) Step(c *Circuit, setting Setting) SettleResult {
+	return s.Settle(c, s.ApplySetting(c, setting))
+}
+
+// SettleAll settles the whole network: every storage node is treated as
+// perturbed. Used after reset or fault injection.
+func (s *Solver) SettleAll(c *Circuit) SettleResult {
+	seeds := make([]netlist.NodeID, 0, s.tab.Net.NumNodes())
+	for i := 0; i < s.tab.Net.NumNodes(); i++ {
+		n := netlist.NodeID(i)
+		if !c.IsInputLike(n) {
+			seeds = append(seeds, n)
+		}
+	}
+	return s.Settle(c, seeds)
+}
+
+// Init resets the circuit to declared initial states and settles it fully.
+func (s *Solver) Init(c *Circuit) SettleResult {
+	c.Reset()
+	return s.SettleAll(c)
+}

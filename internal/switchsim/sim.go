@@ -1,0 +1,126 @@
+package switchsim
+
+import (
+	"fmt"
+
+	"fmossim/internal/logic"
+	"fmossim/internal/netlist"
+)
+
+// Simulator is the user-facing switch-level logic simulator: one circuit,
+// one solver, and convenience methods for driving test sequences. It is
+// the MOSSIM-II-equivalent component of this library; the concurrent fault
+// simulator in internal/core layers on the same kernel.
+type Simulator struct {
+	Tab     *Tables
+	Circuit *Circuit
+	Solver  *Solver
+
+	// TraceFn, when non-nil, is called after every settled input setting
+	// with the pattern/setting indexes (or -1 outside sequences).
+	TraceFn func(pattern, setting int, c *Circuit)
+
+	initialized bool
+}
+
+// NewSimulator builds a simulator over a finalized network.
+func NewSimulator(nw *netlist.Network) *Simulator {
+	tab := NewTables(nw)
+	return &Simulator{
+		Tab:     tab,
+		Circuit: NewCircuit(tab),
+		Solver:  NewSolver(tab),
+	}
+}
+
+// Init resets and fully settles the circuit. Called automatically by the
+// stepping methods if needed.
+func (sim *Simulator) Init() SettleResult {
+	sim.initialized = true
+	return sim.Solver.Init(sim.Circuit)
+}
+
+func (sim *Simulator) ensureInit() {
+	if !sim.initialized {
+		sim.Init()
+	}
+}
+
+// Set assigns named inputs and settles; the map form of Step.
+func (sim *Simulator) Set(pairs map[string]logic.Value) (SettleResult, error) {
+	setting, err := Vector(sim.Tab.Net, pairs)
+	if err != nil {
+		return SettleResult{}, err
+	}
+	return sim.Step(setting), nil
+}
+
+// MustSet is Set, panicking on error.
+func (sim *Simulator) MustSet(pairs map[string]logic.Value) SettleResult {
+	r, err := sim.Set(pairs)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// Step applies one input setting and settles, invoking TraceFn.
+func (sim *Simulator) Step(setting Setting) SettleResult {
+	sim.ensureInit()
+	res := sim.Solver.Step(sim.Circuit, setting)
+	if sim.TraceFn != nil {
+		sim.TraceFn(-1, -1, sim.Circuit)
+	}
+	return res
+}
+
+// RunPattern applies every setting of one pattern.
+func (sim *Simulator) RunPattern(p *Pattern) {
+	sim.ensureInit()
+	for i := range p.Settings {
+		sim.Solver.Step(sim.Circuit, p.Settings[i])
+		if sim.TraceFn != nil {
+			sim.TraceFn(-1, i, sim.Circuit)
+		}
+	}
+}
+
+// RunSequence applies an entire test sequence.
+func (sim *Simulator) RunSequence(seq *Sequence) {
+	sim.ensureInit()
+	for pi := range seq.Patterns {
+		p := &seq.Patterns[pi]
+		for si := range p.Settings {
+			sim.Solver.Step(sim.Circuit, p.Settings[si])
+			if sim.TraceFn != nil {
+				sim.TraceFn(pi, si, sim.Circuit)
+			}
+		}
+	}
+}
+
+// Value returns the state of the named node.
+func (sim *Simulator) Value(name string) logic.Value {
+	return sim.Circuit.ValueOf(name)
+}
+
+// Values returns the states of several named nodes.
+func (sim *Simulator) Values(names ...string) []logic.Value {
+	out := make([]logic.Value, len(names))
+	for i, n := range names {
+		out[i] = sim.Circuit.ValueOf(n)
+	}
+	return out
+}
+
+// Report formats a one-line state report of the named nodes.
+func (sim *Simulator) Report(names ...string) string {
+	s := ""
+	for i, n := range names {
+		if i > 0 {
+			s += " "
+		}
+		s += fmt.Sprintf("%s=%s", n, sim.Circuit.ValueOf(n))
+	}
+	return s
+}

@@ -1,0 +1,276 @@
+package switchsim
+
+import (
+	"fmossim/internal/logic"
+	"fmossim/internal/netlist"
+)
+
+// Solver computes steady-state responses over a network. It owns reusable
+// per-node scratch storage, so one Solver serves any number of Circuits
+// over the same network (one at a time). A Solver is not safe for
+// concurrent use by multiple goroutines.
+type Solver struct {
+	tab *Tables
+
+	// StaticLocality disables dynamic vicinity exploration: vicinities
+	// extend through transistors regardless of conduction state, i.e. the
+	// network is partitioned only by its DC-connected components, as in
+	// pre-MOSSIM-II switch-level simulators. Used by ablation benches.
+	StaticLocality bool
+
+	// MaxRounds bounds the unit-delay settling loop before oscillation
+	// handling kicks in. Zero selects a default based on network size.
+	MaxRounds int
+
+	// Record enables trajectory recording during Settle: the per-round
+	// vicinity/change history lands in Traj. Used by the concurrent
+	// simulator's good-circuit settles.
+	Record bool
+	// Traj is the last recorded trajectory (valid when Record is set;
+	// overwritten by each Settle).
+	Traj Trajectory
+
+	// Per-node scratch, epoch-stamped to avoid O(N) clearing.
+	stamp []uint32 // vicinity membership stamp
+	epoch uint32
+	def   []logic.Strength // strongest definitely-present signal
+	hd    []logic.Strength // strongest definite-high signal
+	ld    []logic.Strength // strongest definite-low signal
+	hp    []logic.Strength // strongest possible-high signal
+	lp    []logic.Strength // strongest possible-low signal
+
+	// Per-settle explored/changed stamps.
+	exploredStamp []uint32
+	exploredEpoch uint32
+	explored      []netlist.NodeID
+	changedStamp  []uint32
+	changedEpoch  uint32
+	changed       []netlist.NodeID
+
+	// Round-local pending set (dedup stamp).
+	pendStamp []uint32
+	pendEpoch uint32
+
+	// Per-replay dynamic-interest stamps: nodes the replay has solved,
+	// plus channel terminals of transistors they gate (see SettleReplay).
+	dynStamp []uint32
+	dynEpoch uint32
+
+	// Per-round trajectory index: nodeVic[n] is the index of the
+	// trajectory vicinity containing n this round (valid when
+	// nodeVicStamp matches the round epoch); vicAdopted is the per-round
+	// adoption flag buffer.
+	nodeVic      []int32
+	nodeVicStamp []uint32
+	vicAdopted   []bool
+
+	vic   []netlist.NodeID // current vicinity member list
+	queue []netlist.NodeID // BFS queue
+
+	work Work
+}
+
+// NewSolver returns a solver for circuits over tab's network.
+func NewSolver(tab *Tables) *Solver {
+	n := tab.Net.NumNodes()
+	return &Solver{
+		tab:           tab,
+		stamp:         make([]uint32, n),
+		def:           make([]logic.Strength, n),
+		hd:            make([]logic.Strength, n),
+		ld:            make([]logic.Strength, n),
+		hp:            make([]logic.Strength, n),
+		lp:            make([]logic.Strength, n),
+		exploredStamp: make([]uint32, n),
+		changedStamp:  make([]uint32, n),
+		pendStamp:     make([]uint32, n),
+		dynStamp:      make([]uint32, n),
+		nodeVic:       make([]int32, n),
+		nodeVicStamp:  make([]uint32, n),
+	}
+}
+
+// markDyn stamps a node into the current replay's dynamic-interest set.
+func (s *Solver) markDyn(n netlist.NodeID) {
+	s.dynStamp[n] = s.dynEpoch
+}
+
+// Work returns the accumulated work counters.
+func (s *Solver) Work() Work { return s.work }
+
+// ResetWork zeroes the work counters.
+func (s *Solver) ResetWork() { s.work = Work{} }
+
+// inVicinity reports whether n is stamped into the current vicinity.
+func (s *Solver) inVicinity(n netlist.NodeID) bool { return s.stamp[n] == s.epoch }
+
+// exploreVicinity collects into s.vic the set of storage nodes connected
+// to seed by paths of conducting transistors that do not pass through
+// input-like nodes. Returns false if seed is input-like or already
+// explored this round.
+func (s *Solver) exploreVicinity(c *Circuit, seed netlist.NodeID) bool {
+	if c.IsInputLike(seed) || s.stamp[seed] == s.epoch {
+		return false
+	}
+	nw := s.tab.Net
+	s.vic = s.vic[:0]
+	s.queue = s.queue[:0]
+	s.stamp[seed] = s.epoch
+	s.queue = append(s.queue, seed)
+	for len(s.queue) > 0 {
+		u := s.queue[len(s.queue)-1]
+		s.queue = s.queue[:len(s.queue)-1]
+		s.vic = append(s.vic, u)
+		for _, t := range nw.Channel(u) {
+			if !s.StaticLocality && c.ts[t] == logic.Lo {
+				continue // the source and drain of an open transistor are electrically isolated
+			}
+			v := nw.Transistor(t).Other(u)
+			if c.IsInputLike(v) {
+				continue // vicinities do not extend through input nodes
+			}
+			if s.stamp[v] != s.epoch {
+				s.stamp[v] = s.epoch
+				s.queue = append(s.queue, v)
+			}
+		}
+	}
+	return true
+}
+
+// solveVicinity computes the steady-state response of the current vicinity
+// (s.vic) and writes the new node values into newVal (parallel to s.vic).
+// The relaxation computes, per node:
+//
+//	def — strength of the strongest definitely-present signal: roots are
+//	      the node's own charge and adjacent input-like nodes (ω), flowing
+//	      through transistors in state 1 only.
+//	Hd/Ld — strongest definite high/low: roots whose value is exactly 1/0,
+//	      via state-1 transistors, unblocked (≥ def at every node).
+//	Hp/Lp — strongest possible high/low: roots with value in {1,X}/{0,X},
+//	      via transistors in state 1 or X, unblocked.
+//
+// New value: 1 if Hd > Lp, 0 if Ld > Hp, else X. A signal of strength s
+// crossing a transistor of strength γ continues at min(s, γ).
+func (s *Solver) solveVicinity(c *Circuit, newVal []logic.Value) {
+	nw := s.tab.Net
+	vic := s.vic
+	s.work.Vicinities++
+	s.work.NodesSolved += int64(len(vic))
+
+	// Phase 1: def relaxation (monotone max over the finite strength
+	// lattice; iterate to fixpoint).
+	for _, u := range vic {
+		s.def[u] = s.tab.Charge[u] // the node's own charge is always definitely present
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, u := range vic {
+			s.work.RelaxSteps++
+			best := s.def[u]
+			for _, t := range nw.Channel(u) {
+				if c.ts[t] != logic.Hi {
+					continue // only definitely-conducting paths carry definite signals
+				}
+				v := nw.Transistor(t).Other(u)
+				var sv logic.Strength
+				if c.IsInputLike(v) {
+					sv = s.tab.Charge[v] // ω
+				} else if s.inVicinity(v) {
+					sv = s.def[v]
+				} else {
+					continue
+				}
+				if a := logic.Attenuate(sv, s.tab.Drive[t]); a > best {
+					best = a
+				}
+			}
+			if best > s.def[u] {
+				s.def[u] = best
+				changed = true
+			}
+		}
+	}
+
+	// Phase 2: value-carrying strengths, blocked at every node by signals
+	// weaker than def there. Roots contribute only if unblocked.
+	for _, u := range vic {
+		s.hd[u], s.ld[u], s.hp[u], s.lp[u] = 0, 0, 0, 0
+		ch := s.tab.Charge[u]
+		if ch < s.def[u] {
+			continue // own charge blocked by a stronger definite signal
+		}
+		switch c.val[u] {
+		case logic.Hi:
+			s.hd[u], s.hp[u] = ch, ch
+		case logic.Lo:
+			s.ld[u], s.lp[u] = ch, ch
+		case logic.X:
+			s.hp[u], s.lp[u] = ch, ch
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, u := range vic {
+			s.work.RelaxSteps++
+			blk := s.def[u]
+			bhd, bld, bhp, blp := s.hd[u], s.ld[u], s.hp[u], s.lp[u]
+			for _, t := range nw.Channel(u) {
+				st := c.ts[t]
+				if st == logic.Lo {
+					continue
+				}
+				v := nw.Transistor(t).Other(u)
+				g := s.tab.Drive[t]
+				var vhd, vld, vhp, vlp logic.Strength
+				if c.IsInputLike(v) {
+					w := s.tab.Charge[v] // ω
+					switch c.val[v] {
+					case logic.Hi:
+						vhd, vhp = w, w
+					case logic.Lo:
+						vld, vlp = w, w
+					case logic.X:
+						vhp, vlp = w, w
+					}
+				} else if s.inVicinity(v) {
+					vhd, vld, vhp, vlp = s.hd[v], s.ld[v], s.hp[v], s.lp[v]
+				} else {
+					continue
+				}
+				if st == logic.Hi {
+					// Definitely conducting: definite signals stay definite.
+					if a := logic.Attenuate(vhd, g); a >= blk && a > bhd {
+						bhd = a
+					}
+					if a := logic.Attenuate(vld, g); a >= blk && a > bld {
+						bld = a
+					}
+				}
+				// Possibly conducting (1 or X): possible signals flow.
+				if a := logic.Attenuate(vhp, g); a >= blk && a > bhp {
+					bhp = a
+				}
+				if a := logic.Attenuate(vlp, g); a >= blk && a > blp {
+					blp = a
+				}
+			}
+			if bhd > s.hd[u] || bld > s.ld[u] || bhp > s.hp[u] || blp > s.lp[u] {
+				s.hd[u], s.ld[u], s.hp[u], s.lp[u] = bhd, bld, bhp, blp
+				changed = true
+			}
+		}
+	}
+
+	// Decide new values.
+	for i, u := range vic {
+		switch {
+		case s.hd[u] > s.lp[u]:
+			newVal[i] = logic.Hi
+		case s.ld[u] > s.hp[u]:
+			newVal[i] = logic.Lo
+		default:
+			newVal[i] = logic.X
+		}
+	}
+}

@@ -1,0 +1,551 @@
+package switchsim_test
+
+import (
+	"fmt"
+	"testing"
+
+	"fmossim/internal/gates"
+	"fmossim/internal/logic"
+	"fmossim/internal/netlist"
+	"fmossim/internal/switchsim"
+)
+
+const (
+	L = logic.Lo
+	H = logic.Hi
+	X = logic.X
+)
+
+// inv builds one inverter (nMOS or CMOS) with input "a" and output "out".
+func inv(cmos bool) (*netlist.Network, *switchsim.Simulator) {
+	b := netlist.NewBuilder(logic.Scale{Sizes: 2, Strengths: 2})
+	a := b.Input("a", L)
+	out := b.Node("out")
+	if cmos {
+		gates.CInv(b, a, out, "inv")
+	} else {
+		gates.NInv(b, a, out, "inv")
+	}
+	nw := b.Finalize()
+	return nw, switchsim.NewSimulator(nw)
+}
+
+func TestInverterTruth(t *testing.T) {
+	for _, cmos := range []bool{false, true} {
+		name := "nmos"
+		if cmos {
+			name = "cmos"
+		}
+		t.Run(name, func(t *testing.T) {
+			_, sim := inv(cmos)
+			for _, c := range []struct{ in, want logic.Value }{
+				{L, H}, {H, L}, {X, X}, {L, H}, {H, L}, // revisit states to exercise re-settling
+			} {
+				sim.MustSet(map[string]logic.Value{"a": c.in})
+				if got := sim.Value("out"); got != c.want {
+					t.Errorf("inv(%s) = %s, want %s", c.in, got, c.want)
+				}
+			}
+		})
+	}
+}
+
+// gate2 builds a two-input gate and checks its full ternary truth table.
+func gate2(t *testing.T, name string, build func(b *netlist.Builder, out, a, bIn netlist.NodeID), want func(a, b logic.Value) logic.Value) {
+	t.Helper()
+	t.Run(name, func(t *testing.T) {
+		bld := netlist.NewBuilder(logic.Scale{Sizes: 2, Strengths: 2})
+		a := bld.Input("a", L)
+		b2 := bld.Input("b", L)
+		out := bld.Node("out")
+		build(bld, out, a, b2)
+		nw := bld.Finalize()
+		sim := switchsim.NewSimulator(nw)
+		vals := []logic.Value{L, H, X}
+		for _, va := range vals {
+			for _, vb := range vals {
+				sim.MustSet(map[string]logic.Value{"a": va, "b": vb})
+				if got, w := sim.Value("out"), want(va, vb); got != w {
+					t.Errorf("%s(%s,%s) = %s, want %s", name, va, vb, got, w)
+				}
+			}
+		}
+	})
+}
+
+// Ternary gate semantics: a series/parallel switch network yields a
+// definite output when the controlling path is definite; otherwise X.
+func nandT(a, b logic.Value) logic.Value {
+	if a == L || b == L {
+		return H
+	}
+	if a == H && b == H {
+		return L
+	}
+	return X
+}
+
+func norT(a, b logic.Value) logic.Value {
+	if a == H || b == H {
+		return L
+	}
+	if a == L && b == L {
+		return H
+	}
+	return X
+}
+
+func TestGateTruthTables(t *testing.T) {
+	gate2(t, "nmos-nand", func(b *netlist.Builder, out, x, y netlist.NodeID) {
+		gates.NNand(b, out, "g", x, y)
+	}, nandT)
+	gate2(t, "cmos-nand", func(b *netlist.Builder, out, x, y netlist.NodeID) {
+		gates.CNand(b, out, "g", x, y)
+	}, nandT)
+	gate2(t, "nmos-nor", func(b *netlist.Builder, out, x, y netlist.NodeID) {
+		gates.NNor(b, out, "g", x, y)
+	}, norT)
+	gate2(t, "cmos-nor", func(b *netlist.Builder, out, x, y netlist.NodeID) {
+		gates.CNor(b, out, "g", x, y)
+	}, norT)
+}
+
+func TestThreeInputGates(t *testing.T) {
+	b := netlist.NewBuilder(logic.Scale{Sizes: 2, Strengths: 2})
+	a := b.Input("a", L)
+	c := b.Input("c", L)
+	d := b.Input("d", L)
+	nand3 := b.Node("nand3")
+	nor3 := b.Node("nor3")
+	gates.NNand(b, nand3, "g1", a, c, d)
+	gates.CNor(b, nor3, "g2", a, c, d)
+	sim := switchsim.NewSimulator(b.Finalize())
+
+	vals := []logic.Value{L, H}
+	for _, va := range vals {
+		for _, vc := range vals {
+			for _, vd := range vals {
+				sim.MustSet(map[string]logic.Value{"a": va, "c": vc, "d": vd})
+				wantNand := H
+				if va == H && vc == H && vd == H {
+					wantNand = L
+				}
+				wantNor := L
+				if va == L && vc == L && vd == L {
+					wantNor = H
+				}
+				if got := sim.Value("nand3"); got != wantNand {
+					t.Errorf("nand3(%s,%s,%s) = %s, want %s", va, vc, vd, got, wantNand)
+				}
+				if got := sim.Value("nor3"); got != wantNor {
+					t.Errorf("nor3(%s,%s,%s) = %s, want %s", va, vc, vd, got, wantNor)
+				}
+			}
+		}
+	}
+}
+
+func TestDynamicLatchHoldsCharge(t *testing.T) {
+	b := netlist.NewBuilder(logic.Scale{Sizes: 2, Strengths: 2})
+	clk := b.Input("clk", L)
+	din := b.Input("din", L)
+	out := b.Node("out")
+	gates.DynLatch(b, clk, din, out, "lat", false)
+	sim := switchsim.NewSimulator(b.Finalize())
+
+	// Write a 1 through the open latch.
+	sim.MustSet(map[string]logic.Value{"clk": H, "din": H})
+	if got := sim.Value("lat.store"); got != H {
+		t.Fatalf("store after write = %s, want 1", got)
+	}
+	if got := sim.Value("out"); got != L {
+		t.Fatalf("out after write = %s, want 0", got)
+	}
+	// Close the latch; drive the input the other way: stored charge and
+	// output must hold.
+	sim.MustSet(map[string]logic.Value{"clk": L})
+	sim.MustSet(map[string]logic.Value{"din": L})
+	if got := sim.Value("lat.store"); got != H {
+		t.Errorf("store should hold charge 1 with clk low, got %s", got)
+	}
+	if got := sim.Value("out"); got != L {
+		t.Errorf("out should hold 0 with clk low, got %s", got)
+	}
+	// Reopen: the new value flows through.
+	sim.MustSet(map[string]logic.Value{"clk": H})
+	if got := sim.Value("out"); got != H {
+		t.Errorf("out after rewrite = %s, want 1", got)
+	}
+}
+
+// shareRig builds inA -(enA)- A -(en)- B -(enB)- inB with the given node
+// sizes, for charge-sharing experiments.
+func shareRig(sizeA, sizeB int) *switchsim.Simulator {
+	b := netlist.NewBuilder(logic.Scale{Sizes: 2, Strengths: 2})
+	inA := b.Input("inA", L)
+	inB := b.Input("inB", L)
+	enA := b.Input("enA", L)
+	enB := b.Input("enB", L)
+	en := b.Input("en", L)
+	nodeA := b.SizedNode("A", sizeA)
+	nodeB := b.SizedNode("B", sizeB)
+	b.N(enA, inA, nodeA, "pa")
+	b.N(en, nodeA, nodeB, "p")
+	b.N(enB, inB, nodeB, "pb")
+	return switchsim.NewSimulator(b.Finalize())
+}
+
+func setCharges(sim *switchsim.Simulator, a, bv logic.Value) {
+	sim.MustSet(map[string]logic.Value{"enA": H, "inA": a, "enB": H, "inB": bv})
+	sim.MustSet(map[string]logic.Value{"enA": L, "enB": L})
+}
+
+func TestChargeSharing(t *testing.T) {
+	t.Run("big-node-wins", func(t *testing.T) {
+		sim := shareRig(2, 1)
+		setCharges(sim, H, L)
+		sim.MustSet(map[string]logic.Value{"en": H})
+		if a, b := sim.Value("A"), sim.Value("B"); a != H || b != H {
+			t.Errorf("sharing κ2=1 with κ1=0: A=%s B=%s, want 1 1", a, b)
+		}
+	})
+	t.Run("equal-sizes-conflict", func(t *testing.T) {
+		sim := shareRig(1, 1)
+		setCharges(sim, H, L)
+		sim.MustSet(map[string]logic.Value{"en": H})
+		if a, b := sim.Value("A"), sim.Value("B"); a != X || b != X {
+			t.Errorf("sharing κ1=1 with κ1=0: A=%s B=%s, want X X", a, b)
+		}
+	})
+	t.Run("agreeing-charges-keep-value", func(t *testing.T) {
+		sim := shareRig(1, 1)
+		setCharges(sim, H, H)
+		sim.MustSet(map[string]logic.Value{"en": H})
+		if a, b := sim.Value("A"), sim.Value("B"); a != H || b != H {
+			t.Errorf("sharing 1 with 1: A=%s B=%s, want 1 1", a, b)
+		}
+	})
+	t.Run("x-gate-conflicting", func(t *testing.T) {
+		sim := shareRig(1, 1)
+		setCharges(sim, H, L)
+		sim.MustSet(map[string]logic.Value{"en": X})
+		if a, b := sim.Value("A"), sim.Value("B"); a != X || b != X {
+			t.Errorf("X-gated sharing of 1 and 0: A=%s B=%s, want X X", a, b)
+		}
+	})
+	t.Run("x-gate-agreeing", func(t *testing.T) {
+		sim := shareRig(1, 1)
+		setCharges(sim, L, L)
+		sim.MustSet(map[string]logic.Value{"en": X})
+		if a, b := sim.Value("A"), sim.Value("B"); a != L || b != L {
+			t.Errorf("X-gated sharing of 0 and 0: A=%s B=%s, want 0 0", a, b)
+		}
+	})
+}
+
+func TestDriveOverridesCharge(t *testing.T) {
+	// A strong driver through a conducting transistor must override even
+	// a large node's charge.
+	sim := shareRig(2, 1)
+	setCharges(sim, H, H)
+	sim.MustSet(map[string]logic.Value{"enB": H, "inB": L, "en": H})
+	if a, b := sim.Value("A"), sim.Value("B"); a != L || b != L {
+		t.Errorf("driving 0 into charged κ2 node: A=%s B=%s, want 0 0", a, b)
+	}
+}
+
+func TestBidirectionalPass(t *testing.T) {
+	sim := shareRig(1, 1)
+	// Drive left-to-right.
+	sim.MustSet(map[string]logic.Value{"enA": H, "inA": H, "en": H})
+	if got := sim.Value("B"); got != H {
+		t.Errorf("left-to-right conduction: B=%s, want 1", got)
+	}
+	// Now right-to-left through the same transistor.
+	sim.MustSet(map[string]logic.Value{"enA": L})
+	sim.MustSet(map[string]logic.Value{"enB": H, "inB": L})
+	if got := sim.Value("A"); got != L {
+		t.Errorf("right-to-left conduction: A=%s, want 0", got)
+	}
+}
+
+func TestFightingDrivers(t *testing.T) {
+	b := netlist.NewBuilder(logic.Scale{Sizes: 1, Strengths: 2})
+	hi := b.Input("hi", H)
+	lo := b.Input("lo", L)
+	n := b.Node("n")
+	tie := b.TieHi()
+	b.N(tie, hi, n, "t1")
+	b.N(tie, lo, n, "t2")
+	sim := switchsim.NewSimulator(b.Finalize())
+	sim.Init()
+	if got := sim.Value("n"); got != X {
+		t.Errorf("equal-strength fight: n=%s, want X", got)
+	}
+}
+
+func TestStrongerDriverWins(t *testing.T) {
+	b := netlist.NewBuilder(logic.Scale{Sizes: 1, Strengths: 2})
+	hi := b.Input("hi", H)
+	lo := b.Input("lo", L)
+	n := b.Node("n")
+	tie := b.TieHi()
+	b.StrengthTrans(logic.NType, 2, tie, hi, n, "strong")
+	b.StrengthTrans(logic.NType, 1, tie, lo, n, "weak")
+	sim := switchsim.NewSimulator(b.Finalize())
+	sim.Init()
+	if got := sim.Value("n"); got != H {
+		t.Errorf("γ2-high vs γ1-low: n=%s, want 1", got)
+	}
+}
+
+func TestRatioedInverterStrengths(t *testing.T) {
+	// The depletion load (γ1) must lose to the pull-down (γ2) but win
+	// over charge: this is exactly nMOS ratioed logic.
+	_, sim := inv(false)
+	sim.MustSet(map[string]logic.Value{"a": H})
+	if got := sim.Value("out"); got != L {
+		t.Fatalf("pull-down should win over load: out=%s", got)
+	}
+	sim.MustSet(map[string]logic.Value{"a": L})
+	if got := sim.Value("out"); got != H {
+		t.Fatalf("load should pull up once pull-down opens: out=%s", got)
+	}
+}
+
+func TestPrechargedBus(t *testing.T) {
+	b := netlist.NewBuilder(logic.Scale{Sizes: 2, Strengths: 2})
+	phi := b.Input("phi", L)
+	sel := b.Input("sel", L)
+	bus := b.SizedNode("bus", 2) // high-capacitance bit line
+	gates.Precharge(b, phi, bus, "pc")
+	gates.Pulldown(b, sel, bus, "pd")
+	sim := switchsim.NewSimulator(b.Finalize())
+
+	sim.MustSet(map[string]logic.Value{"phi": H}) // precharge
+	if got := sim.Value("bus"); got != H {
+		t.Fatalf("bus after precharge = %s, want 1", got)
+	}
+	sim.MustSet(map[string]logic.Value{"phi": L}) // hold
+	if got := sim.Value("bus"); got != H {
+		t.Fatalf("bus should hold precharge = %s, want 1", got)
+	}
+	sim.MustSet(map[string]logic.Value{"sel": H}) // conditional discharge
+	if got := sim.Value("bus"); got != L {
+		t.Fatalf("bus after discharge = %s, want 0", got)
+	}
+	sim.MustSet(map[string]logic.Value{"sel": L, "phi": H}) // precharge again
+	if got := sim.Value("bus"); got != H {
+		t.Fatalf("bus after re-precharge = %s, want 1", got)
+	}
+}
+
+func TestRingOscillatorResolvesToX(t *testing.T) {
+	b := netlist.NewBuilder(logic.Scale{Sizes: 1, Strengths: 2})
+	n0 := b.Node("n0")
+	n1 := b.Node("n1")
+	n2 := b.Node("n2")
+	gates.NInv(b, n0, n1, "i0")
+	gates.NInv(b, n1, n2, "i1")
+	gates.NInv(b, n2, n0, "i2")
+	en := b.Input("en", L)
+	in := b.Input("in", L)
+	b.StrengthTrans(logic.NType, 2, en, in, n0, "kick")
+	sim := switchsim.NewSimulator(b.Finalize())
+
+	// All-X is a stable fixpoint of the ring.
+	res := sim.Init()
+	if res.Oscillated {
+		t.Fatal("all-X init should not oscillate")
+	}
+	if sim.Value("n0") != X || sim.Value("n1") != X || sim.Value("n2") != X {
+		t.Fatalf("uninitialized ring should be X: %s", sim.Report("n0", "n1", "n2"))
+	}
+	// Force a definite value in, then release: the ring has no stable
+	// binary state, so settling must detect oscillation and yield X.
+	sim.MustSet(map[string]logic.Value{"en": H, "in": L})
+	if got := sim.Value("n0"); got != L {
+		t.Fatalf("kick failed: n0=%s, want 0", got)
+	}
+	res = sim.MustSet(map[string]logic.Value{"en": L})
+	if !res.Oscillated {
+		t.Error("free-running ring should be reported as oscillating")
+	}
+	for _, n := range []string{"n0", "n1", "n2"} {
+		if got := sim.Value(n); got != X {
+			t.Errorf("oscillating node %s = %s, want X", n, got)
+		}
+	}
+}
+
+func TestForceNodeActsAsInput(t *testing.T) {
+	nw, sim := inv(false)
+	sim.Init()
+	out := nw.MustLookup("out")
+	// Force the output stuck-at-0: input changes must not move it.
+	seeds := sim.Circuit.ForceNode(out, L)
+	sim.Solver.Settle(sim.Circuit, seeds)
+	sim.MustSet(map[string]logic.Value{"a": L})
+	if got := sim.Value("out"); got != L {
+		t.Errorf("forced node moved: out=%s, want 0", got)
+	}
+	// Unforce: the network drives it again.
+	seeds = sim.Circuit.UnforceNode(out)
+	sim.Solver.Settle(sim.Circuit, seeds)
+	sim.MustSet(map[string]logic.Value{"a": L})
+	if got := sim.Value("out"); got != H {
+		t.Errorf("after unforce with a=0: out=%s, want 1", got)
+	}
+}
+
+func TestPinTransistor(t *testing.T) {
+	// Pin the inverter's pull-down stuck-closed: output is 0 regardless.
+	b := netlist.NewBuilder(logic.Scale{Sizes: 2, Strengths: 2})
+	a := b.Input("a", L)
+	out := b.Node("out")
+	b.Load(out, "load")
+	pd := b.N(a, out, b.Gnd, "pd")
+	sim := switchsim.NewSimulator(b.Finalize())
+	sim.Init()
+
+	seeds := sim.Circuit.PinTransistor(pd, H)
+	sim.Solver.Settle(sim.Circuit, seeds)
+	sim.MustSet(map[string]logic.Value{"a": L})
+	if got := sim.Value("out"); got != L {
+		t.Errorf("stuck-closed pull-down: out=%s, want 0", got)
+	}
+	// Stuck-open: output is 1 regardless (load wins).
+	seeds = sim.Circuit.PinTransistor(pd, L)
+	sim.Solver.Settle(sim.Circuit, seeds)
+	sim.MustSet(map[string]logic.Value{"a": H})
+	if got := sim.Value("out"); got != H {
+		t.Errorf("stuck-open pull-down: out=%s, want 1", got)
+	}
+	// Unpin: normal behavior returns.
+	seeds = sim.Circuit.UnpinTransistor(pd)
+	sim.Solver.Settle(sim.Circuit, seeds)
+	if got := sim.Value("out"); got != L {
+		t.Errorf("after unpin with a=1: out=%s, want 0", got)
+	}
+	if sim.Circuit.Faulty() {
+		t.Error("circuit should report non-faulty after unpin")
+	}
+}
+
+func TestSetInputOnForcedInputIsNoOp(t *testing.T) {
+	nw, sim := inv(false)
+	sim.Init()
+	a := nw.MustLookup("a")
+	sim.Circuit.ForceNode(a, H)
+	sim.Solver.SettleAll(sim.Circuit)
+	if got := sim.Value("out"); got != L {
+		t.Fatalf("forced a=1: out=%s, want 0", got)
+	}
+	if seeds := sim.Circuit.SetInput(a, L); seeds != nil {
+		t.Error("SetInput on a forced input should be a no-op")
+	}
+	if got := sim.Value("a"); got != H {
+		t.Errorf("forced input moved to %s", got)
+	}
+}
+
+func TestDecoderOneHot(t *testing.T) {
+	b := netlist.NewBuilder(logic.Scale{Sizes: 2, Strengths: 2})
+	var addr, addrBar []netlist.NodeID
+	for i := 0; i < 3; i++ {
+		in := b.Input(fmt.Sprintf("a%d", i), L)
+		nb := b.Node(fmt.Sprintf("a%db", i))
+		buf := b.Node(fmt.Sprintf("a%dt", i))
+		gates.InvPair(b, in, nb, buf, fmt.Sprintf("ap%d", i), false)
+		addr = append(addr, buf)
+		addrBar = append(addrBar, nb)
+	}
+	lines := gates.Decoder(b, addr, addrBar, "dec")
+	sim := switchsim.NewSimulator(b.Finalize())
+
+	for want := 0; want < 8; want++ {
+		sim.MustSet(map[string]logic.Value{
+			"a0": logic.Value(want & 1),
+			"a1": logic.Value((want >> 1) & 1),
+			"a2": logic.Value((want >> 2) & 1),
+		})
+		for i, ln := range lines {
+			got := sim.Circuit.Value(ln)
+			wantV := L
+			if i == want {
+				wantV = H
+			}
+			if got != wantV {
+				t.Errorf("addr=%d: line %d = %s, want %s", want, i, got, wantV)
+			}
+		}
+	}
+}
+
+func TestSettleResultBookkeeping(t *testing.T) {
+	_, sim := inv(false)
+	sim.Init()
+	res := sim.MustSet(map[string]logic.Value{"a": H})
+	if len(res.Explored) == 0 {
+		t.Error("settle should explore the output vicinity")
+	}
+	found := false
+	for _, n := range res.Changed {
+		if sim.Tab.Net.Name(n) == "out" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("out should be in Changed, got %d nodes", len(res.Changed))
+	}
+	// No-op setting: nothing perturbed.
+	res = sim.MustSet(map[string]logic.Value{"a": H})
+	if res.Rounds != 0 || len(res.Changed) != 0 {
+		t.Errorf("no-op setting produced rounds=%d changed=%d", res.Rounds, len(res.Changed))
+	}
+}
+
+func TestWorkCounters(t *testing.T) {
+	_, sim := inv(false)
+	sim.Init()
+	before := sim.Solver.Work()
+	sim.MustSet(map[string]logic.Value{"a": H})
+	after := sim.Solver.Work()
+	d := after.Sub(before)
+	if d.Settles != 1 || d.Vicinities == 0 || d.NodesSolved == 0 || d.RelaxSteps == 0 {
+		t.Errorf("work counters did not advance: %+v", d)
+	}
+	if d.Units() <= 0 {
+		t.Error("work units should be positive")
+	}
+	sim.Solver.ResetWork()
+	if sim.Solver.Work() != (switchsim.Work{}) {
+		t.Error("ResetWork should zero the counters")
+	}
+}
+
+func TestVectorErrors(t *testing.T) {
+	nw, _ := inv(false)
+	if _, err := switchsim.Vector(nw, map[string]logic.Value{"nope": H}); err == nil {
+		t.Error("Vector should reject unknown node names")
+	}
+	if _, err := switchsim.Vector(nw, map[string]logic.Value{"out": H}); err == nil {
+		t.Error("Vector should reject storage nodes")
+	}
+	if _, err := switchsim.Vector(nw, map[string]logic.Value{"a": H}); err != nil {
+		t.Errorf("Vector failed on valid input: %v", err)
+	}
+}
+
+func TestPatternObserveAt(t *testing.T) {
+	p := switchsim.Pattern{Settings: make([]switchsim.Setting, 3)}
+	for i := 0; i < 3; i++ {
+		if !p.ObserveAt(i) {
+			t.Errorf("default pattern should observe at every setting (%d)", i)
+		}
+	}
+	p.Observe = []int{2}
+	if p.ObserveAt(0) || p.ObserveAt(1) || !p.ObserveAt(2) {
+		t.Error("explicit Observe list not honored")
+	}
+}

@@ -1,0 +1,155 @@
+// Package testnet generates random switch-level circuits and stimulus for
+// property-based testing. Two generators are provided: Structured, which
+// composes well-behaved cells (gates, latches, pass muxes) into a layered
+// circuit, and Soup, which wires completely random transistor networks.
+// Structured circuits are used for equivalence properties (serial vs
+// concurrent fault simulation must agree); Soup circuits stress the solver
+// for robustness properties (termination, idempotence, monotonicity).
+package testnet
+
+import (
+	"fmt"
+	"math/rand"
+
+	"fmossim/internal/gates"
+	"fmossim/internal/logic"
+	"fmossim/internal/netlist"
+	"fmossim/internal/switchsim"
+)
+
+// Circuit bundles a generated network with its stimulus handles.
+type Circuit struct {
+	Net *netlist.Network
+	// DataInputs are the freely assignable input nodes (excludes rails).
+	DataInputs []netlist.NodeID
+	// Outputs are suggested observation nodes.
+	Outputs []netlist.NodeID
+}
+
+// Structured generates a layered circuit of random cells. Layer 0 is the
+// data inputs; each subsequent layer's cells draw inputs from earlier
+// layers. Cell mix: nMOS and CMOS inverters/NANDs/NORs, dynamic latches
+// (clocked by a dedicated clock input), and pass-transistor 2:1 muxes.
+func Structured(rng *rand.Rand) *Circuit {
+	b := netlist.NewBuilder(logic.Scale{Sizes: 2, Strengths: 2})
+	nIn := 2 + rng.Intn(4)
+	clk := b.Input("clk", logic.Lo)
+	var ins []netlist.NodeID
+	for i := 0; i < nIn; i++ {
+		ins = append(ins, b.Input(fmt.Sprintf("in%d", i), logic.Lo))
+	}
+	pool := append([]netlist.NodeID(nil), ins...)
+
+	nCells := 3 + rng.Intn(10)
+	var outs []netlist.NodeID
+	pick := func() netlist.NodeID { return pool[rng.Intn(len(pool))] }
+	for i := 0; i < nCells; i++ {
+		prefix := fmt.Sprintf("c%d", i)
+		out := b.Node(prefix + ".out")
+		switch rng.Intn(8) {
+		case 0:
+			gates.NInv(b, pick(), out, prefix)
+		case 1:
+			gates.CInv(b, pick(), out, prefix)
+		case 2:
+			gates.NNand(b, out, prefix, pick(), pick())
+		case 3:
+			gates.CNand(b, out, prefix, pick(), pick())
+		case 4:
+			gates.NNor(b, out, prefix, pick(), pick())
+		case 5:
+			gates.CNor(b, out, prefix, pick(), pick())
+		case 6:
+			gates.DynLatch(b, clk, pick(), out, prefix, rng.Intn(2) == 0)
+		case 7:
+			// Pass-transistor 2:1 mux with complementary selects derived
+			// through an inverter, merging on a shared (sized) node.
+			sel := pick()
+			selBar := b.Node(prefix + ".selbar")
+			gates.CInv(b, sel, selBar, prefix+".selinv")
+			mid := b.SizedNode(prefix+".mid", 1+rng.Intn(2))
+			b.N(sel, pick(), mid, prefix+".pa")
+			b.N(selBar, pick(), mid, prefix+".pb")
+			gates.CInv(b, mid, out, prefix+".oinv")
+		}
+		pool = append(pool, out)
+		outs = append(outs, out)
+	}
+
+	nw := b.Finalize()
+	c := &Circuit{Net: nw, DataInputs: append([]netlist.NodeID{clk}, ins...)}
+	// Observe the last few cell outputs.
+	from := len(outs) - 3
+	if from < 0 {
+		from = 0
+	}
+	c.Outputs = outs[from:]
+	return c
+}
+
+// Soup generates a completely random transistor network: arbitrary
+// gate/source/drain wiring over a shared node pool. Such networks may
+// contain fighting drivers, loops through pass transistors, and
+// oscillators; they exercise the solver's robustness.
+func Soup(rng *rand.Rand) *Circuit {
+	b := netlist.NewBuilder(logic.Scale{Sizes: 2, Strengths: 2})
+	nIn := 1 + rng.Intn(4)
+	var ins []netlist.NodeID
+	for i := 0; i < nIn; i++ {
+		ins = append(ins, b.Input(fmt.Sprintf("in%d", i), logic.Lo))
+	}
+	nStore := 3 + rng.Intn(10)
+	var store []netlist.NodeID
+	for i := 0; i < nStore; i++ {
+		store = append(store, b.SizedNode(fmt.Sprintf("s%d", i), 1+rng.Intn(2)))
+	}
+	all := append(append([]netlist.NodeID{b.Vdd, b.Gnd}, ins...), store...)
+
+	nTrans := 4 + rng.Intn(20)
+	for i := 0; i < nTrans; i++ {
+		gate := all[rng.Intn(len(all))]
+		src := all[rng.Intn(len(all))]
+		drn := all[rng.Intn(len(all))]
+		if src == drn {
+			continue
+		}
+		typ := logic.NType
+		strength := 1 + rng.Intn(2)
+		switch rng.Intn(10) {
+		case 0, 1, 2:
+			typ = logic.PType
+		case 3:
+			typ = logic.DType
+			strength = 1
+		}
+		b.StrengthTrans(typ, strength, gate, src, drn, fmt.Sprintf("t%d", i))
+	}
+	nw := b.Finalize()
+	return &Circuit{Net: nw, DataInputs: ins, Outputs: store}
+}
+
+// RandomSetting assigns random values to the circuit's data inputs.
+// xProb is the probability (out of 100) that an input is driven to X.
+func (c *Circuit) RandomSetting(rng *rand.Rand, xProb int) switchsim.Setting {
+	var set switchsim.Setting
+	for _, in := range c.DataInputs {
+		v := logic.Value(rng.Intn(2))
+		if rng.Intn(100) < xProb {
+			v = logic.X
+		}
+		set = append(set, switchsim.Assignment{Node: in, Value: v})
+	}
+	return set
+}
+
+// RandomSequence builds a sequence of n single-setting patterns.
+func (c *Circuit) RandomSequence(rng *rand.Rand, n, xProb int) *switchsim.Sequence {
+	seq := &switchsim.Sequence{Name: "random"}
+	for i := 0; i < n; i++ {
+		seq.Patterns = append(seq.Patterns, switchsim.Pattern{
+			Name:     fmt.Sprintf("p%d", i),
+			Settings: []switchsim.Setting{c.RandomSetting(rng, xProb)},
+		})
+	}
+	return seq
+}

@@ -1,0 +1,169 @@
+// Package trace records simulation waveforms and writes them in the IEEE
+// 1364 Value Change Dump (VCD) format, so runs of the logic or fault
+// simulator can be inspected in any waveform viewer (GTKWave etc.).
+//
+// The ternary switch-level states map onto VCD's four-state scalars: 0, 1
+// and x (the unknown state); z is not produced (an isolated node holds
+// its charge in the switch-level model rather than floating).
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"fmossim/internal/logic"
+	"fmossim/internal/netlist"
+	"fmossim/internal/switchsim"
+)
+
+// Recorder captures the values of a set of watched nodes at successive
+// timestamps and serializes them as VCD.
+type Recorder struct {
+	nw    *netlist.Network
+	nodes []netlist.NodeID
+	ids   []string // VCD identifier codes, parallel to nodes
+
+	// last[i] is the previously recorded value, to emit changes only.
+	last    []logic.Value
+	started bool
+
+	w   *bufio.Writer
+	t   uint64
+	err error
+}
+
+// New creates a recorder writing VCD to w, watching the given nodes. If
+// nodes is empty, every node of the network is watched. The header is
+// written on the first Sample.
+func New(w io.Writer, nw *netlist.Network, nodes []netlist.NodeID) *Recorder {
+	if len(nodes) == 0 {
+		for i := 0; i < nw.NumNodes(); i++ {
+			nodes = append(nodes, netlist.NodeID(i))
+		}
+	}
+	r := &Recorder{
+		nw:    nw,
+		nodes: append([]netlist.NodeID(nil), nodes...),
+		ids:   make([]string, len(nodes)),
+		last:  make([]logic.Value, len(nodes)),
+		w:     bufio.NewWriter(w),
+	}
+	for i := range r.nodes {
+		r.ids[i] = idCode(i)
+		r.last[i] = logic.Value(0xff) // sentinel: everything dumps initially
+	}
+	return r
+}
+
+// idCode builds the compact VCD identifier for index i using the
+// printable-character scheme of the standard.
+func idCode(i int) string {
+	const base = 94 // printable ASCII '!'..'~'
+	var sb strings.Builder
+	for {
+		sb.WriteByte(byte('!' + i%base))
+		i /= base
+		if i == 0 {
+			break
+		}
+		i--
+	}
+	return sb.String()
+}
+
+// vcdChar renders a ternary value as a VCD scalar character.
+func vcdChar(v logic.Value) byte {
+	switch v {
+	case logic.Lo:
+		return '0'
+	case logic.Hi:
+		return '1'
+	}
+	return 'x'
+}
+
+// sanitize turns a node name into a VCD-safe identifier (VCD references
+// must not contain whitespace; most viewers dislike brackets too).
+func sanitize(name string) string {
+	repl := strings.NewReplacer(" ", "_", "\t", "_", "[", "_", "]", "_")
+	return repl.Replace(name)
+}
+
+func (r *Recorder) header() {
+	fmt.Fprintf(r.w, "$date\n  (fmossim switch-level simulation)\n$end\n")
+	fmt.Fprintf(r.w, "$version\n  fmossim VCD recorder\n$end\n")
+	fmt.Fprintf(r.w, "$timescale 1ns $end\n")
+	fmt.Fprintf(r.w, "$scope module %s $end\n", "fmossim")
+	for i, n := range r.nodes {
+		fmt.Fprintf(r.w, "$var wire 1 %s %s $end\n", r.ids[i], sanitize(r.nw.Name(n)))
+	}
+	fmt.Fprintf(r.w, "$upscope $end\n$enddefinitions $end\n")
+}
+
+// Sample records the circuit's watched values at the next timestamp.
+// Only changed values are emitted, per the VCD format.
+func (r *Recorder) Sample(c *switchsim.Circuit) {
+	if r.err != nil {
+		return
+	}
+	if !r.started {
+		r.header()
+		r.started = true
+	}
+	stamped := false
+	for i, n := range r.nodes {
+		v := c.Value(n)
+		if v == r.last[i] {
+			continue
+		}
+		if !stamped {
+			fmt.Fprintf(r.w, "#%d\n", r.t)
+			stamped = true
+		}
+		fmt.Fprintf(r.w, "%c%s\n", vcdChar(v), r.ids[i])
+		r.last[i] = v
+	}
+	r.t++
+}
+
+// Attach wires the recorder into a logic simulator: every settled input
+// setting is sampled. Returns the simulator for chaining.
+func (r *Recorder) Attach(sim *switchsim.Simulator) *switchsim.Simulator {
+	prev := sim.TraceFn
+	sim.TraceFn = func(pattern, setting int, c *switchsim.Circuit) {
+		if prev != nil {
+			prev(pattern, setting, c)
+		}
+		r.Sample(c)
+	}
+	return sim
+}
+
+// Flush finishes the dump. Must be called once at the end.
+func (r *Recorder) Flush() error {
+	if r.err != nil {
+		return r.err
+	}
+	if !r.started {
+		r.header()
+	}
+	fmt.Fprintf(r.w, "#%d\n", r.t)
+	return r.w.Flush()
+}
+
+// WatchNames resolves node names for New, failing on unknown names.
+func WatchNames(nw *netlist.Network, names ...string) ([]netlist.NodeID, error) {
+	ids := make([]netlist.NodeID, 0, len(names))
+	for _, name := range names {
+		id := nw.Lookup(name)
+		if id == netlist.NoNode {
+			return nil, fmt.Errorf("trace: unknown node %q", name)
+		}
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids, nil
+}

@@ -1,0 +1,119 @@
+package trace_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"fmossim/internal/gates"
+	"fmossim/internal/logic"
+	"fmossim/internal/netlist"
+	"fmossim/internal/switchsim"
+	"fmossim/internal/trace"
+)
+
+func invNet() *netlist.Network {
+	b := netlist.NewBuilder(logic.Scale{Sizes: 2, Strengths: 2})
+	a := b.Input("a", logic.Lo)
+	out := b.Node("out")
+	gates.NInv(b, a, out, "inv")
+	return b.Finalize()
+}
+
+func TestVCDStructure(t *testing.T) {
+	nw := invNet()
+	var buf bytes.Buffer
+	watch, err := trace.WatchNames(nw, "a", "out")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := trace.New(&buf, nw, watch)
+
+	sim := switchsim.NewSimulator(nw)
+	rec.Attach(sim)
+	sim.Init()
+	seq := &switchsim.Sequence{Patterns: []switchsim.Pattern{
+		{Settings: []switchsim.Setting{switchsim.MustVector(nw, map[string]logic.Value{"a": logic.Hi})}},
+		{Settings: []switchsim.Setting{switchsim.MustVector(nw, map[string]logic.Value{"a": logic.Lo})}},
+		{Settings: []switchsim.Setting{switchsim.MustVector(nw, map[string]logic.Value{"a": logic.Lo})}}, // no change
+	}}
+	sim.RunSequence(seq)
+	if err := rec.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	vcd := buf.String()
+	for _, want := range []string{
+		"$timescale", "$scope module fmossim", "$enddefinitions",
+		"$var wire 1 ! a $end", "$var wire 1 \" out $end",
+		"#0", "1!", "0\"", // a=1, out=0 at the first sample
+	} {
+		if !strings.Contains(vcd, want) {
+			t.Errorf("VCD missing %q:\n%s", want, vcd)
+		}
+	}
+	// The unchanged third pattern must not emit value changes: count the
+	// timestamps with changes.
+	changes := 0
+	for _, line := range strings.Split(vcd, "\n") {
+		if strings.HasPrefix(line, "1!") || strings.HasPrefix(line, "0!") {
+			changes++
+		}
+	}
+	if changes != 2 { // a: 1 then 0 (the repeat emits nothing)
+		t.Errorf("input 'a' changed %d times in the dump, want 2", changes)
+	}
+}
+
+func TestVCDWatchesEverythingByDefault(t *testing.T) {
+	nw := invNet()
+	var buf bytes.Buffer
+	rec := trace.New(&buf, nw, nil)
+	sim := switchsim.NewSimulator(nw)
+	sim.Init()
+	rec.Sample(sim.Circuit)
+	if err := rec.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	vcd := buf.String()
+	if strings.Count(vcd, "$var wire") != nw.NumNodes() {
+		t.Errorf("expected one $var per node:\n%s", vcd)
+	}
+	if !strings.Contains(vcd, "xinv.load") && !strings.Contains(vcd, " out $end") {
+		t.Errorf("node names missing:\n%s", vcd)
+	}
+}
+
+func TestWatchNamesError(t *testing.T) {
+	nw := invNet()
+	if _, err := trace.WatchNames(nw, "nope"); err == nil {
+		t.Error("unknown name should fail")
+	}
+}
+
+func TestEmptyFlush(t *testing.T) {
+	nw := invNet()
+	var buf bytes.Buffer
+	rec := trace.New(&buf, nw, nil)
+	if err := rec.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "$enddefinitions") {
+		t.Error("flush without samples should still emit a header")
+	}
+}
+
+func TestXStateRendering(t *testing.T) {
+	nw := invNet()
+	var buf bytes.Buffer
+	watch, _ := trace.WatchNames(nw, "out")
+	rec := trace.New(&buf, nw, watch)
+	sim := switchsim.NewSimulator(nw)
+	sim.Init()
+	sim.MustSet(map[string]logic.Value{"a": logic.X})
+	rec.Sample(sim.Circuit)
+	rec.Flush()
+	if !strings.Contains(buf.String(), "x!") {
+		t.Errorf("X state should dump as 'x':\n%s", buf.String())
+	}
+}
