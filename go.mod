@@ -1,0 +1,3 @@
+module fmossim
+
+go 1.22

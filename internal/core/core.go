@@ -32,6 +32,7 @@ package core
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
 
 	"fmossim/internal/fault"
@@ -83,6 +84,15 @@ type Options struct {
 	FullReplay bool
 	// MaxRounds overrides the solver round limit (0 = default).
 	MaxRounds int
+	// Workers sets the number of fault-circuit execution workers. The
+	// activated circuits of a setting are independent given the good
+	// trajectory and the pre-step state, so they are sharded across
+	// Workers goroutines, each owning a private scratch circuit and
+	// solver; divergence-record write-back is merged in ascending
+	// circuit-id order, so results are bit-identical to serial execution
+	// for every Workers value. 0 selects runtime.GOMAXPROCS(0); 1 runs
+	// fully inline.
+	Workers int
 }
 
 // Detection describes the first detection of one fault.
@@ -104,7 +114,14 @@ type faultState struct {
 	det      Detection
 	// recs is the authoritative divergence store: the faulty circuit's
 	// state at each node where it differs from the good circuit.
-	recs map[netlist.NodeID]logic.Value
+	recs recStore
+	// recBits is a node-indexed membership bitmap over recs and recVal a
+	// node-indexed copy of the record values: the workers' diff pass
+	// tests membership and compares the old value with two loads instead
+	// of binary searches. recVal[n] is meaningful only where the bit is
+	// set.
+	recBits []uint64
+	recVal  []logic.Value
 	// oscillated notes any settle of this circuit hit the round limit.
 	oscillated bool
 }
@@ -118,11 +135,16 @@ type Simulator struct {
 	good *switchsim.Circuit
 	// prev holds the good circuit's pre-step state: faulty circuits are
 	// materialized from it so their settling starts from their own
-	// previous steady state.
-	prev    *switchsim.Circuit
-	gsolve  *switchsim.Solver
-	scratch *switchsim.Circuit
-	fsolve  *switchsim.Solver
+	// previous steady state. It is kept in sync with the good circuit by
+	// delta application (goodDelta), never by full copies.
+	prev   *switchsim.Circuit
+	gsolve *switchsim.Solver
+
+	// workers execute activated faulty circuits; each owns a scratch
+	// circuit (a live mirror of prev, patched and reverted per circuit by
+	// an undo log) and a private solver. workers[0] doubles as the inline
+	// path when parallel dispatch isn't worthwhile.
+	workers []*faultWorker
 
 	faults []*faultState
 
@@ -132,7 +154,7 @@ type Simulator struct {
 	nodeCircs [][]CircuitID
 	// interest[n] refcounts the circuits whose re-simulation triggers
 	// include node n.
-	interest []map[CircuitID]int32
+	interest []interestList
 
 	// Scratch for per-setting scheduling.
 	touchStamp []uint32
@@ -140,13 +162,23 @@ type Simulator struct {
 	touched    []netlist.NodeID
 	inputStamp []uint32
 	inputEpoch uint32
-	diffStamp  []uint32
-	diffEpoch  uint32
 
-	// intStamp marks the interest set of the circuit currently being
-	// replayed (see markInterest).
-	intStamp []uint32
-	intEpoch uint32
+	// goodDelta lists the nodes where the good circuit may differ from
+	// prev after the current setting (the good settle's changed set; it
+	// aliases gsolve's scratch). changedInputs lists the input nodes whose
+	// values changed this setting. Together they drive the next setting's
+	// activity-proportional prev/scratch sync.
+	goodDelta     []netlist.NodeID
+	changedInputs []netlist.NodeID
+
+	// Per-setting scheduling scratch: the de-dup stamp over circuit ids
+	// and the reused active list / parallel result buffers.
+	activeStamp []uint32
+	activeEpoch uint32
+	active      []CircuitID
+	results     []stepResult
+	detBuf      []int
+	obsBuf      []CircuitID
 
 	patternIdx int
 	settingIdx int
@@ -170,32 +202,36 @@ func New(nw *netlist.Network, faults []fault.Fault, opts Options) (*Simulator, e
 	}
 	tab := switchsim.NewTables(nw)
 	s := &Simulator{
-		tab:        tab,
-		nw:         nw,
-		opts:       opts,
-		good:       switchsim.NewCircuit(tab),
-		prev:       switchsim.NewCircuit(tab),
-		gsolve:     switchsim.NewSolver(tab),
-		scratch:    switchsim.NewCircuit(tab),
-		fsolve:     switchsim.NewSolver(tab),
-		nodeCircs:  make([][]CircuitID, nw.NumNodes()),
-		interest:   make([]map[CircuitID]int32, nw.NumNodes()),
-		touchStamp: make([]uint32, nw.NumNodes()),
-		inputStamp: make([]uint32, nw.NumNodes()),
-		diffStamp:  make([]uint32, nw.NumNodes()),
-		intStamp:   make([]uint32, nw.NumNodes()),
+		tab:         tab,
+		nw:          nw,
+		opts:        opts,
+		good:        switchsim.NewCircuit(tab),
+		prev:        switchsim.NewCircuit(tab),
+		gsolve:      switchsim.NewSolver(tab),
+		nodeCircs:   make([][]CircuitID, nw.NumNodes()),
+		interest:    make([]interestList, nw.NumNodes()),
+		touchStamp:  make([]uint32, nw.NumNodes()),
+		inputStamp:  make([]uint32, nw.NumNodes()),
+		activeStamp: make([]uint32, len(faults)+1),
 	}
 	s.gsolve.Record = true
 	s.gsolve.StaticLocality = opts.StaticLocality
-	s.fsolve.StaticLocality = opts.StaticLocality
 	s.gsolve.MaxRounds = opts.MaxRounds
-	s.fsolve.MaxRounds = opts.MaxRounds
+
+	nWorkers := opts.Workers
+	if nWorkers <= 0 {
+		nWorkers = runtime.GOMAXPROCS(0)
+	}
+	for i := 0; i < nWorkers; i++ {
+		s.workers = append(s.workers, newFaultWorker(s))
+	}
 
 	for _, f := range faults {
 		fs := &faultState{
-			f:     f,
-			sites: siteSet(nw, f),
-			recs:  make(map[netlist.NodeID]logic.Value),
+			f:       f,
+			sites:   siteSet(nw, f),
+			recBits: make([]uint64, (nw.NumNodes()+63)/64),
+			recVal:  make([]logic.Value, nw.NumNodes()),
 		}
 		s.faults = append(s.faults, fs)
 	}
@@ -284,9 +320,10 @@ func (s *Simulator) LiveFaults() int {
 // Records returns a copy of the divergence records of fault fi: the faulty
 // circuit's state wherever it differs from the good circuit.
 func (s *Simulator) Records(fi int) map[netlist.NodeID]logic.Value {
-	out := make(map[netlist.NodeID]logic.Value, len(s.faults[fi].recs))
-	for n, v := range s.faults[fi].recs {
-		out[n] = v
+	recs := &s.faults[fi].recs
+	out := make(map[netlist.NodeID]logic.Value, recs.size())
+	for i, n := range recs.nodes {
+		out[n] = recs.vals[i]
 	}
 	return out
 }
@@ -294,8 +331,11 @@ func (s *Simulator) Records(fi int) map[netlist.NodeID]logic.Value {
 // FaultValue returns the state of node n in faulty circuit fi: the
 // divergence record if present, the good-circuit state otherwise.
 func (s *Simulator) FaultValue(fi int, n netlist.NodeID) logic.Value {
-	if v, ok := s.faults[fi].recs[n]; ok {
+	if v, ok := s.faults[fi].recs.get(n); ok {
 		return v
 	}
 	return s.good.Value(n)
 }
+
+// Workers returns the size of the fault-circuit worker pool.
+func (s *Simulator) Workers() int { return len(s.workers) }

@@ -1,0 +1,358 @@
+// Fault-circuit execution engine: activity-proportional materialization
+// plus parallel execution of activated circuits.
+//
+// Materialization. A faulty circuit's pre-step view is the good circuit's
+// pre-step state (prev) overlaid with the circuit's divergence records and
+// fault pin. Instead of copying the whole state per circuit (O(nodes +
+// transistors)), each worker keeps a scratch circuit that is a standing
+// mirror of prev: a step overlays only the records and the fault, settles,
+// diffs, and then reverts exactly the touched nodes — the overlay set, the
+// changed inputs, and the settle's changed set — via an undo log. The cost
+// of simulating a circuit is therefore proportional to its activity, never
+// to circuit size, which is the paper's central scaling claim carried down
+// into the constant factors.
+//
+// Parallelism. Given the good trajectory, the pre-step state, and the good
+// post-step state, the activated circuits of one setting are mutually
+// independent: each reads only shared immutable state and its own records,
+// and writes only its own diff. Circuits are therefore sharded across a
+// worker pool, each worker owning a private scratch circuit and solver;
+// divergence-record write-back (the only mutation of shared structures) is
+// deferred and merged on the coordinating goroutine in ascending
+// circuit-id order, so results are bit-identical to serial execution for
+// every worker count.
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"fmossim/internal/logic"
+	"fmossim/internal/netlist"
+	"fmossim/internal/switchsim"
+)
+
+// minParallelBatch is the smallest activated-circuit count worth paying
+// goroutine dispatch for; below it the inline path wins.
+const minParallelBatch = 8
+
+// recOp is one deferred divergence-record mutation: set (insert/update)
+// or clear.
+type recOp struct {
+	n   netlist.NodeID
+	v   logic.Value
+	set bool
+}
+
+// stepResult locates one activated circuit's diff in its worker's op
+// arena.
+type stepResult struct {
+	wid    int
+	lo, hi int
+	osc    bool
+}
+
+// faultWorker owns the per-goroutine state needed to execute one faulty
+// circuit at a time: the scratch mirror of prev, a private solver, the
+// undo log, and epoch-stamped diff/interest scratch.
+type faultWorker struct {
+	sim     *Simulator
+	scratch *switchsim.Circuit
+	solve   *switchsim.Solver
+
+	// Undo log: the nodes whose scratch state diverged from the prev
+	// mirror during the current circuit's step.
+	undoStamp []uint32
+	undoEpoch uint32
+	undo      []netlist.NodeID
+
+	// Diff dedup stamps.
+	diffStamp []uint32
+	diffEpoch uint32
+
+	// ops is the worker's diff arena for the current setting.
+	ops []recOp
+}
+
+func newFaultWorker(s *Simulator) *faultWorker {
+	w := &faultWorker{
+		sim:       s,
+		scratch:   switchsim.NewCircuit(s.tab),
+		solve:     switchsim.NewSolver(s.tab),
+		undoStamp: make([]uint32, s.nw.NumNodes()),
+		diffStamp: make([]uint32, s.nw.NumNodes()),
+	}
+	w.solve.StaticLocality = s.opts.StaticLocality
+	w.solve.MaxRounds = s.opts.MaxRounds
+	return w
+}
+
+// noteUndo stamps node n into the current circuit's undo set.
+func (w *faultWorker) noteUndo(n netlist.NodeID) {
+	if w.undoStamp[n] != w.undoEpoch {
+		w.undoStamp[n] = w.undoEpoch
+		w.undo = append(w.undo, n)
+	}
+}
+
+// seedInterest opens the solver's replay epoch and seeds the circuit's
+// static interest set — its divergence records with their gated channel
+// terminals (the same neighborhood the interest index registers, via
+// recordInterestNodes), plus its static sites — as diverged, blocking
+// trajectory adoption there.
+func (w *faultWorker) seedInterest(fs *faultState) {
+	w.solve.BeginReplay()
+	for _, n := range fs.recs.nodes {
+		w.sim.recordInterestNodes(n, w.solve.SeedDiverged)
+	}
+	for _, n := range fs.sites {
+		w.solve.SeedDiverged(n)
+	}
+}
+
+// diffNode compares the scratch (faulty) state against the good post-step
+// state at node n and appends the record mutation, if any, to the op
+// arena. Nodes already diffed this epoch are skipped. Input nodes are
+// diffed too: a forced (faulted) input diverges from the good circuit's
+// input value.
+func (w *faultWorker) diffNode(fs *faultState, n netlist.NodeID) {
+	if w.diffStamp[n] == w.diffEpoch {
+		return
+	}
+	w.diffStamp[n] = w.diffEpoch
+	fv := w.scratch.Value(n)
+	hasRec := fs.recBits[uint(n)>>6]>>(uint(n)&63)&1 != 0
+	if fv != w.sim.good.Value(n) {
+		if !hasRec || fs.recVal[n] != fv {
+			w.ops = append(w.ops, recOp{n: n, v: fv, set: true})
+		}
+	} else if hasRec {
+		w.ops = append(w.ops, recOp{n: n, set: false})
+	}
+}
+
+func (w *faultWorker) diffNodes(fs *faultState, nodes []netlist.NodeID) {
+	for _, n := range nodes {
+		w.diffNode(fs, n)
+	}
+}
+
+// stepFaulty re-simulates faulty circuit ci for the current setting: a
+// serial-fidelity replay of the setting against the circuit's own
+// pre-step state. The perturbation seeds are exactly those a standalone
+// serial simulation would use — the circuit's own response to the input
+// setting — so the replay's event order, and therefore every
+// transient-sensitive charge state, matches a serial simulation
+// bit-for-bit. The scheduler's interest hits decide only *whether* the
+// circuit runs, never what it re-solves.
+//
+// The scratch circuit enters as a mirror of prev, is patched with the
+// circuit's records and fault, settled, diffed against the good post-step
+// state into the op arena, and reverted to the mirror before returning.
+// The returned range [lo,hi) locates the circuit's ops; osc reports an
+// oscillation.
+func (w *faultWorker) stepFaulty(ci CircuitID, setting switchsim.Setting, extraSeeds []netlist.NodeID, traj *switchsim.Trajectory, goodChanged []netlist.NodeID) (lo, hi int, osc bool) {
+	s := w.sim
+	fs := s.faults[ci-1]
+
+	// Materialize the faulty circuit's pre-step view: overlay the
+	// divergence records, fix up transistor states for divergent gates,
+	// and apply the fault pin. Re-applying the fault is a materialization
+	// fix-up (the mirrored transistor states are the good circuit's), not
+	// a perturbation, so its seeds are discarded.
+	w.undoEpoch++
+	w.undo = w.undo[:0]
+	for i, n := range fs.recs.nodes {
+		w.scratch.OverrideValue(n, fs.recs.vals[i])
+		w.noteUndo(n)
+	}
+	for _, n := range fs.recs.nodes {
+		w.scratch.RefreshGates(n)
+	}
+	fs.f.Apply(w.scratch)
+	nodeFault := fs.f.Kind.IsNodeFault()
+	if nodeFault {
+		w.noteUndo(fs.f.Node)
+	}
+
+	seeds := extraSeeds
+	if setting != nil {
+		for _, a := range setting {
+			if w.scratch.Value(a.Node) != a.Value {
+				w.noteUndo(a.Node)
+			}
+		}
+		seeds = w.solve.ApplySetting(w.scratch, setting)
+	}
+
+	var res switchsim.SettleResult
+	if traj != nil {
+		w.seedInterest(fs)
+		res = w.solve.SettleReplay(w.scratch, seeds, traj)
+	} else {
+		res = w.solve.Settle(w.scratch, seeds)
+	}
+
+	// Diff: the faulty state may now differ from the good post-step state
+	// anywhere the faulty settle explored, anywhere the good circuit
+	// changed (divergence by inaction: the faulty circuit's wave was
+	// blocked where the good circuit's was not), and at the forced node.
+	w.diffEpoch++
+	lo = len(w.ops)
+	w.diffNodes(fs, res.Explored)
+	w.diffNodes(fs, goodChanged)
+	if nodeFault {
+		w.diffNode(fs, fs.f.Node)
+	}
+	hi = len(w.ops)
+
+	// Revert the scratch to the prev mirror: restore exactly the touched
+	// nodes (overlay set, changed inputs, settle changes), refresh the
+	// transistors they gate, and lift the fault pin.
+	for _, n := range res.Changed {
+		w.noteUndo(n)
+	}
+	if nodeFault {
+		w.scratch.DropForce(fs.f.Node)
+	}
+	for _, n := range w.undo {
+		pv := s.prev.Value(n)
+		if w.scratch.Value(n) != pv {
+			w.scratch.OverrideValue(n, pv)
+			w.scratch.RefreshGates(n)
+		}
+	}
+	if !nodeFault {
+		w.scratch.DropPin(fs.f.Trans)
+	}
+	return lo, hi, res.Oscillated
+}
+
+// insertFault records the immediate divergence a fault forces before any
+// settling: a forced node whose pinned value differs from the good
+// circuit's reset value. Transistor pins change no node values by
+// themselves, so they create no insertion records. prev equals the good
+// reset state when this runs.
+func (w *faultWorker) insertFault(ci CircuitID) (lo, hi int) {
+	s := w.sim
+	fs := s.faults[ci-1]
+	if !fs.f.Kind.IsNodeFault() {
+		return 0, 0
+	}
+	fs.f.Apply(w.scratch)
+	w.diffEpoch++
+	lo = len(w.ops)
+	w.diffNode(fs, fs.f.Node)
+	hi = len(w.ops)
+	w.scratch.DropForce(fs.f.Node)
+	w.scratch.OverrideValue(fs.f.Node, s.prev.Value(fs.f.Node))
+	w.scratch.RefreshGates(fs.f.Node)
+	return lo, hi
+}
+
+// applyOps merges one circuit's deferred record mutations into the shared
+// stores. Called on the coordinating goroutine only, in ascending
+// circuit-id order.
+func (s *Simulator) applyOps(ci CircuitID, ops []recOp, osc bool) {
+	fs := s.faults[ci-1]
+	if osc {
+		fs.oscillated = true
+	}
+	for _, op := range ops {
+		if op.set {
+			s.setRecord(op.n, ci, op.v)
+		} else {
+			s.clearRecord(op.n, ci)
+		}
+	}
+}
+
+// runActivated executes the scheduled active circuits — inline on
+// workers[0] when the batch is small or the pool has size 1, sharded
+// across the pool otherwise — and merges their diffs deterministically.
+func (s *Simulator) runActivated(setting switchsim.Setting, extraSeeds []netlist.NodeID, traj *switchsim.Trajectory, goodChanged []netlist.NodeID) {
+	active := s.active
+	if len(active) == 0 {
+		return
+	}
+	if len(s.workers) == 1 || len(active) < minParallelBatch {
+		w := s.workers[0]
+		w.ops = w.ops[:0]
+		for _, ci := range active {
+			lo, hi, osc := w.stepFaulty(ci, setting, extraSeeds, traj, goodChanged)
+			s.applyOps(ci, w.ops[lo:hi], osc)
+			w.ops = w.ops[:lo]
+		}
+		return
+	}
+
+	if cap(s.results) < len(active) {
+		s.results = make([]stepResult, len(active)*2)
+	}
+	results := s.results[:len(active)]
+	nWorkers := len(s.workers)
+	if nWorkers > len(active) {
+		nWorkers = len(active)
+	}
+	var cursor atomic.Int64
+	var wg sync.WaitGroup
+	for wid := 0; wid < nWorkers; wid++ {
+		w := s.workers[wid]
+		w.ops = w.ops[:0]
+		wg.Add(1)
+		go func(wid int, w *faultWorker) {
+			defer wg.Done()
+			for {
+				i := int(cursor.Add(1)) - 1
+				if i >= len(active) {
+					return
+				}
+				lo, hi, osc := w.stepFaulty(active[i], setting, extraSeeds, traj, goodChanged)
+				results[i] = stepResult{wid: wid, lo: lo, hi: hi, osc: osc}
+			}
+		}(wid, w)
+	}
+	wg.Wait()
+	// Deterministic write-back: ascending circuit-id order, regardless of
+	// which worker computed what or when it finished.
+	for i, ci := range active {
+		r := results[i]
+		s.applyOps(ci, s.workers[r.wid].ops[r.lo:r.hi], r.osc)
+	}
+}
+
+// syncMirrors applies the previous setting's good-circuit delta — the
+// changed storage nodes and changed inputs — to prev and to every
+// worker's scratch mirror, making them equal to the good circuit's
+// current (pre-step) state. Cost is proportional to the previous
+// setting's activity, replacing the former O(nodes + transistors) full
+// copy per setting.
+func (s *Simulator) syncMirrors() {
+	s.applyDelta(s.changedInputs)
+	s.applyDelta(s.goodDelta)
+	s.goodDelta = nil
+	s.changedInputs = s.changedInputs[:0]
+}
+
+func (s *Simulator) applyDelta(nodes []netlist.NodeID) {
+	for _, n := range nodes {
+		v := s.good.Value(n)
+		s.prev.OverrideValue(n, v)
+		s.prev.RefreshGates(n)
+		for _, w := range s.workers {
+			w.scratch.OverrideValue(n, v)
+			w.scratch.RefreshGates(n)
+		}
+	}
+}
+
+// faultWorkUnits sums the fault-side solver work across the pool. Each
+// circuit's work is deterministic and the sum is order-independent, so
+// the total is identical for every worker count.
+func (s *Simulator) faultWorkUnits() int64 {
+	var t int64
+	for _, w := range s.workers {
+		t += w.solve.Work().Units()
+	}
+	return t
+}

@@ -10,63 +10,71 @@ import (
 
 // incInterest registers circuit ci as interested in node n.
 func (s *Simulator) incInterest(n netlist.NodeID, ci CircuitID) {
-	m := s.interest[n]
-	if m == nil {
-		m = make(map[CircuitID]int32, 2)
-		s.interest[n] = m
-	}
-	m[ci]++
+	s.interest[n] = s.interest[n].inc(ci)
 }
 
 // decInterest removes one interest reference.
 func (s *Simulator) decInterest(n netlist.NodeID, ci CircuitID) {
-	m := s.interest[n]
-	if m[ci] <= 1 {
-		delete(m, ci)
-		return
-	}
-	m[ci]--
+	s.interest[n] = s.interest[n].dec(ci)
 }
 
 // recordInterestNodes visits the nodes whose interest registration follows
 // from a divergence record at n: n itself, plus the storage channel
 // terminals of every transistor gated by n (their conduction in the faulty
-// circuit differs from the good circuit while n diverges).
+// circuit differs from the good circuit while n diverges). This is the
+// single definition of the record-interest neighborhood; the interest
+// index (inc/dec), the replay divergence seeding, and the invariant
+// checker all go through it. The visit closures below do not escape, so
+// they stay on the caller's stack.
 func (s *Simulator) recordInterestNodes(n netlist.NodeID, visit func(netlist.NodeID)) {
 	visit(n)
-	for _, t := range s.nw.GatedBy(n) {
-		tr := s.nw.Transistor(t)
-		if s.nw.Node(tr.Source).Kind != netlist.Input {
-			visit(tr.Source)
+	for _, e := range s.tab.GatedByOf(n) {
+		if !s.tab.IsInput(e.Src) {
+			visit(e.Src)
 		}
-		if s.nw.Node(tr.Drain).Kind != netlist.Input {
-			visit(tr.Drain)
+		if !s.tab.IsInput(e.Drn) {
+			visit(e.Drn)
 		}
 	}
+}
+
+// incRecordInterest / decRecordInterest adjust the interest refcounts
+// implied by a divergence record at n.
+func (s *Simulator) incRecordInterest(n netlist.NodeID, ci CircuitID) {
+	s.recordInterestNodes(n, func(m netlist.NodeID) { s.incInterest(m, ci) })
+}
+
+func (s *Simulator) decRecordInterest(n netlist.NodeID, ci CircuitID) {
+	s.recordInterestNodes(n, func(m netlist.NodeID) { s.decInterest(m, ci) })
 }
 
 // setRecord inserts or updates the divergence record ⟨ci, v⟩ at node n.
 func (s *Simulator) setRecord(n netlist.NodeID, ci CircuitID, v logic.Value) {
 	fs := s.faults[ci-1]
-	if _, exists := fs.recs[n]; exists {
-		fs.recs[n] = v
+	i, exists := fs.recs.find(n)
+	fs.recVal[n] = v
+	if exists {
+		fs.recs.vals[i] = v
 		return
 	}
-	fs.recs[n] = v
+	fs.recs.insertAt(i, n, v)
+	fs.recBits[uint(n)>>6] |= 1 << (uint(n) & 63)
 	s.insertNodeCirc(n, ci)
-	s.recordInterestNodes(n, func(m netlist.NodeID) { s.incInterest(m, ci) })
+	s.incRecordInterest(n, ci)
 }
 
 // clearRecord removes the divergence record of circuit ci at node n, if
 // present.
 func (s *Simulator) clearRecord(n netlist.NodeID, ci CircuitID) {
 	fs := s.faults[ci-1]
-	if _, exists := fs.recs[n]; !exists {
+	i, exists := fs.recs.find(n)
+	if !exists {
 		return
 	}
-	delete(fs.recs, n)
+	fs.recs.deleteAt(i)
+	fs.recBits[uint(n)>>6] &^= 1 << (uint(n) & 63)
 	s.removeNodeCirc(n, ci)
-	s.recordInterestNodes(n, func(m netlist.NodeID) { s.decInterest(m, ci) })
+	s.decRecordInterest(n, ci)
 }
 
 // insertNodeCirc inserts ci into node n's sorted circuit list.
@@ -93,11 +101,14 @@ func (s *Simulator) removeNodeCirc(n netlist.NodeID, ci CircuitID) {
 // the paper's fault dropping.
 func (s *Simulator) dropCircuit(ci CircuitID) {
 	fs := s.faults[ci-1]
-	for n := range fs.recs {
+	for _, n := range fs.recs.nodes {
 		s.removeNodeCirc(n, ci)
-		s.recordInterestNodes(n, func(m netlist.NodeID) { s.decInterest(m, ci) })
+		s.decRecordInterest(n, ci)
 	}
-	fs.recs = nil
+	fs.recs.release()
+	for i := range fs.recBits {
+		fs.recBits[i] = 0
+	}
 	for _, n := range fs.sites {
 		s.decInterest(n, ci)
 	}
@@ -113,10 +124,16 @@ func (s *Simulator) CheckInvariants() error { return s.checkRecordInvariants() }
 // checkRecordInvariants verifies the bidirectional consistency of the
 // record stores and interest index; used by tests.
 func (s *Simulator) checkRecordInvariants() error {
-	// Every per-circuit record appears in the per-node list and vice versa.
+	// Every per-circuit record appears in the per-node list and vice
+	// versa, and the per-circuit stores are sorted.
 	for fi, fs := range s.faults {
 		ci := CircuitID(fi + 1)
-		for n := range fs.recs {
+		if !sort.SliceIsSorted(fs.recs.nodes, func(a, b int) bool {
+			return fs.recs.nodes[a] < fs.recs.nodes[b]
+		}) {
+			return errf("circuit %d record store unsorted", ci)
+		}
+		for _, n := range fs.recs.nodes {
 			l := s.nodeCircs[n]
 			i := sort.Search(len(l), func(k int) bool { return l[k] >= ci })
 			if i >= len(l) || l[i] != ci {
@@ -130,7 +147,7 @@ func (s *Simulator) checkRecordInvariants() error {
 			if fs.dropped {
 				return errf("dropped circuit %d still on node %s", ci, s.nw.Name(netlist.NodeID(n)))
 			}
-			if _, ok := fs.recs[netlist.NodeID(n)]; !ok {
+			if _, ok := fs.recs.get(netlist.NodeID(n)); !ok {
 				return errf("node list entry (%d,%s) has no record", ci, s.nw.Name(netlist.NodeID(n)))
 			}
 		}
@@ -138,6 +155,13 @@ func (s *Simulator) checkRecordInvariants() error {
 			return s.nodeCircs[n][a] < s.nodeCircs[n][b]
 		}) {
 			return errf("node %s circuit list unsorted", s.nw.Name(netlist.NodeID(n)))
+		}
+	}
+	// Worker scratch circuits must mirror the pre-step state exactly: the
+	// undo-log revert leaves no residue.
+	for wi, w := range s.workers {
+		if !w.scratch.StateEquals(s.prev) {
+			return errf("worker %d scratch is not a mirror of prev", wi)
 		}
 	}
 	// Interest refcounts match the independently recomputed counts.
@@ -156,22 +180,27 @@ func (s *Simulator) checkRecordInvariants() error {
 		for _, n := range fs.sites {
 			bump(n, ci)
 		}
-		for n := range fs.recs {
+		for _, n := range fs.recs.nodes {
 			s.recordInterestNodes(n, func(m netlist.NodeID) { bump(m, ci) })
 		}
 	}
 	for n := range s.interest {
-		for ci, count := range s.interest[n] {
-			if want[n] == nil || want[n][ci] != count {
-				return errf("interest[%s][%d]=%d, want %d", s.nw.Name(netlist.NodeID(n)), ci, count, want[n][ci])
+		for _, e := range s.interest[n] {
+			if want[n] == nil || want[n][e.ci] != e.count {
+				return errf("interest[%s][%d]=%d, want %d", s.nw.Name(netlist.NodeID(n)), e.ci, e.count, want[n][e.ci])
 			}
 		}
 		if want[n] != nil {
 			for ci, count := range want[n] {
-				if s.interest[n][ci] != count {
-					return errf("interest[%s][%d]=%d, want %d", s.nw.Name(netlist.NodeID(n)), ci, s.interest[n][ci], count)
+				if i, ok := s.interest[n].find(ci); !ok || s.interest[n][i].count != count {
+					return errf("interest[%s][%d] missing or wrong, want %d", s.nw.Name(netlist.NodeID(n)), ci, count)
 				}
 			}
+		}
+		if !sort.SliceIsSorted(s.interest[n], func(a, b int) bool {
+			return s.interest[n][a].ci < s.interest[n][b].ci
+		}) {
+			return errf("node %s interest list unsorted", s.nw.Name(netlist.NodeID(n)))
 		}
 	}
 	return nil

@@ -1,0 +1,114 @@
+package core
+
+import (
+	"fmossim/internal/logic"
+	"fmossim/internal/netlist"
+)
+
+// recStore is a faulty circuit's divergence-record store: the nodes where
+// the circuit's state differs from the good circuit, with the diverged
+// values, kept as parallel sorted slices. Divergence sets are small and
+// churn constantly, so a cache-friendly sorted slice with binary search
+// beats a hash map on both lookup and iteration, and iteration order is
+// deterministic (ascending node id) for free.
+type recStore struct {
+	nodes []netlist.NodeID
+	vals  []logic.Value
+}
+
+// find returns the index of n and whether it is present.
+func (r *recStore) find(n netlist.NodeID) (int, bool) {
+	lo, hi := 0, len(r.nodes)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if r.nodes[mid] < n {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo, lo < len(r.nodes) && r.nodes[lo] == n
+}
+
+// get returns the recorded value at n, if present.
+func (r *recStore) get(n netlist.NodeID) (logic.Value, bool) {
+	if i, ok := r.find(n); ok {
+		return r.vals[i], true
+	}
+	return 0, false
+}
+
+// insertAt inserts (n, v) at index i, keeping the store sorted.
+func (r *recStore) insertAt(i int, n netlist.NodeID, v logic.Value) {
+	r.nodes = append(r.nodes, 0)
+	copy(r.nodes[i+1:], r.nodes[i:])
+	r.nodes[i] = n
+	r.vals = append(r.vals, 0)
+	copy(r.vals[i+1:], r.vals[i:])
+	r.vals[i] = v
+}
+
+// deleteAt removes the record at index i.
+func (r *recStore) deleteAt(i int) {
+	r.nodes = append(r.nodes[:i], r.nodes[i+1:]...)
+	r.vals = append(r.vals[:i], r.vals[i+1:]...)
+}
+
+// size returns the number of records.
+func (r *recStore) size() int { return len(r.nodes) }
+
+// release drops the store's backing memory (fault dropping).
+func (r *recStore) release() { r.nodes, r.vals = nil, nil }
+
+// interestEntry is one refcounted (circuit, count) pair of a node's
+// interest list.
+type interestEntry struct {
+	ci    CircuitID
+	count int32
+}
+
+// interestList is a node's interest index: the circuits whose
+// re-simulation triggers include the node, refcounted, sorted by circuit
+// id. The flat layout makes the scheduler's per-touched-node scan a
+// linear walk instead of a map iteration.
+type interestList []interestEntry
+
+// find returns the index of ci and whether it is present.
+func (l interestList) find(ci CircuitID) (int, bool) {
+	lo, hi := 0, len(l)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if l[mid].ci < ci {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo, lo < len(l) && l[lo].ci == ci
+}
+
+// inc adds one reference to ci, inserting it if absent.
+func (l interestList) inc(ci CircuitID) interestList {
+	i, ok := l.find(ci)
+	if ok {
+		l[i].count++
+		return l
+	}
+	l = append(l, interestEntry{})
+	copy(l[i+1:], l[i:])
+	l[i] = interestEntry{ci: ci, count: 1}
+	return l
+}
+
+// dec removes one reference to ci, deleting the entry at zero.
+func (l interestList) dec(ci CircuitID) interestList {
+	i, ok := l.find(ci)
+	if !ok {
+		return l
+	}
+	if l[i].count <= 1 {
+		return append(l[:i], l[i+1:]...)
+	}
+	l[i].count--
+	return l
+}

@@ -1,7 +1,7 @@
 package core
 
 import (
-	"sort"
+	"slices"
 	"time"
 
 	"fmossim/internal/netlist"
@@ -17,34 +17,10 @@ import (
 // manufacturing defect is present from power-on, exactly as in the serial
 // reference simulation.
 func (s *Simulator) insertFault(ci CircuitID) {
-	fs := s.faults[ci-1]
-	if !fs.f.Kind.IsNodeFault() {
-		return
-	}
-	s.scratch.CopyStateFrom(s.good)
-	s.scratch.ClearFaults()
-	fs.f.Apply(s.scratch)
-	s.diffEpoch++
-	s.diffInto(ci, []netlist.NodeID{fs.f.Node})
-}
-
-// diffInto compares the scratch (faulty) state against the good state over
-// the given nodes and updates circuit ci's records. Nodes already diffed
-// this epoch are skipped. Input nodes are diffed too: a forced (faulted)
-// input diverges from the good circuit's input value.
-func (s *Simulator) diffInto(ci CircuitID, nodes []netlist.NodeID) {
-	for _, n := range nodes {
-		if s.diffStamp[n] == s.diffEpoch {
-			continue
-		}
-		s.diffStamp[n] = s.diffEpoch
-		fv := s.scratch.Value(n)
-		if fv != s.good.Value(n) {
-			s.setRecord(n, ci, fv)
-		} else {
-			s.clearRecord(n, ci)
-		}
-	}
+	w := s.workers[0]
+	w.ops = w.ops[:0]
+	lo, hi := w.insertFault(ci)
+	s.applyOps(ci, w.ops[lo:hi], false)
 }
 
 // touch stamps node n into the touched region of the current setting.
@@ -71,9 +47,23 @@ func (s *Simulator) initStep() {
 			all = append(all, n)
 		}
 	}
+	s.active = s.active[:0]
 	for fi := range s.faults {
-		s.stepFaulty(CircuitID(fi+1), nil, all, nil, res.Changed)
+		s.active = append(s.active, CircuitID(fi+1))
 	}
+	// The init settle-all records a trajectory like any other step; the
+	// faulty init settles adopt from it wherever they provably match the
+	// good circuit (most of the circuit — divergence is local to the
+	// fault at power-on).
+	traj := &s.gsolve.Traj
+	if res.Oscillated || s.opts.FullReplay {
+		traj = nil
+	}
+	s.runActivated(nil, all, traj, res.Changed)
+	// Prime the first setting's mirror sync with the initialization
+	// delta.
+	s.goodDelta = res.Changed
+	s.changedInputs = s.changedInputs[:0]
 }
 
 // StepSetting advances every live circuit through one input setting: the
@@ -83,6 +73,11 @@ func (s *Simulator) initStep() {
 func (s *Simulator) StepSetting(setting switchsim.Setting) SettingStats {
 	t0 := time.Now()
 	w0 := s.gsolve.Work()
+
+	// Bring prev and the worker scratch mirrors up to the good circuit's
+	// pre-step state by applying the previous setting's delta.
+	s.syncMirrors()
+
 	s.touchEpoch++
 	s.touched = s.touched[:0]
 
@@ -95,6 +90,7 @@ func (s *Simulator) StepSetting(setting switchsim.Setting) SettingStats {
 		if s.good.Value(a.Node) == a.Value {
 			continue
 		}
+		s.changedInputs = append(s.changedInputs, a.Node)
 		s.inputStamp[a.Node] = s.inputEpoch
 		for _, t := range s.nw.Channel(a.Node) {
 			o := s.nw.Transistor(t).Other(a.Node)
@@ -113,18 +109,16 @@ func (s *Simulator) StepSetting(setting switchsim.Setting) SettingStats {
 		}
 	}
 
-	// 1. Snapshot the pre-step state, then simulate the good circuit,
-	// recording its settling trajectory. Faulty circuits are materialized
-	// from the pre-step state: their settle must start from their own
-	// previous steady state, not from values the good circuit has already
-	// adopted this step.
-	s.prev.CopyStateFrom(s.good)
+	// 1. Simulate the good circuit, recording its settling trajectory.
+	// Faulty circuits are materialized from the pre-step state (prev):
+	// their settle must start from their own previous steady state, not
+	// from values the good circuit has already adopted this step.
 	goodSeeds := s.gsolve.ApplySetting(s.good, setting)
 	res := s.gsolve.Settle(s.good, goodSeeds)
 	for _, n := range res.Explored {
 		s.touch(n)
 	}
-	traj := s.gsolve.Traj
+	traj := &s.gsolve.Traj
 	if res.Oscillated || s.opts.FullReplay {
 		// X-resolution makes the trajectory unreliable as an oracle;
 		// fall back to full replays this step (also the FullReplay
@@ -136,10 +130,15 @@ func (s *Simulator) StepSetting(setting switchsim.Setting) SettingStats {
 
 	// 2+3. Schedule and simulate the activated faulty circuits.
 	tf := time.Now()
-	wf0 := s.fsolve.Work()
+	wf0 := s.faultWorkUnits()
 	nActive := s.simulateActivated(setting, traj, res.Changed)
-	faultWork := s.fsolve.Work().Sub(wf0).Units()
+	faultWork := s.faultWorkUnits() - wf0
 	faultNS := time.Since(tf).Nanoseconds()
+
+	// The good circuit's changed set becomes the next setting's mirror
+	// delta. It aliases gsolve-owned scratch, which stays valid until the
+	// next good settle — i.e. exactly until syncMirrors consumes it.
+	s.goodDelta = res.Changed
 
 	st := SettingStats{
 		Pattern:        s.patternIdx,
@@ -160,39 +159,23 @@ func (s *Simulator) StepSetting(setting switchsim.Setting) SettingStats {
 // trajectory when one is available (adopting identical regions, solving
 // divergent ones — see switchsim.SettleReplay), or by a full replay of
 // the setting otherwise. Returns the number of activated circuits.
-func (s *Simulator) simulateActivated(setting switchsim.Setting, traj switchsim.Trajectory, goodChanged []netlist.NodeID) int {
-	activeSet := make(map[CircuitID]bool)
+func (s *Simulator) simulateActivated(setting switchsim.Setting, traj *switchsim.Trajectory, goodChanged []netlist.NodeID) int {
+	s.activeEpoch++
+	s.active = s.active[:0]
 	for _, n := range s.touched {
-		for ci := range s.interest[n] {
-			activeSet[ci] = true
+		for _, e := range s.interest[n] {
+			if s.activeStamp[e.ci] == s.activeEpoch {
+				continue
+			}
+			s.activeStamp[e.ci] = s.activeEpoch
+			if fs := s.faults[e.ci-1]; !fs.dropped && !s.faultInert(fs) {
+				s.active = append(s.active, e.ci)
+			}
 		}
 	}
-	active := make([]CircuitID, 0, len(activeSet))
-	for ci := range activeSet {
-		if fs := s.faults[ci-1]; !fs.dropped && !s.faultInert(fs) {
-			active = append(active, ci)
-		}
-	}
-	sort.Slice(active, func(i, j int) bool { return active[i] < active[j] })
-	for _, ci := range active {
-		s.stepFaulty(ci, setting, nil, traj, goodChanged)
-	}
-	return len(active)
-}
-
-// markInterest stamps the interest set of circuit ci and returns the
-// membership test used by the trajectory replay.
-func (s *Simulator) markInterest(ci CircuitID) func(netlist.NodeID) bool {
-	s.intEpoch++
-	fs := s.faults[ci-1]
-	mark := func(n netlist.NodeID) { s.intStamp[n] = s.intEpoch }
-	for n := range fs.recs {
-		s.recordInterestNodes(n, mark)
-	}
-	for _, n := range fs.sites {
-		mark(n)
-	}
-	return func(n netlist.NodeID) bool { return s.intStamp[n] == s.intEpoch }
+	slices.Sort(s.active)
+	s.runActivated(setting, nil, traj, goodChanged)
+	return len(s.active)
 }
 
 // faultInert reports whether a divergence-free circuit provably cannot
@@ -206,7 +189,7 @@ func (s *Simulator) markInterest(ci CircuitID) func(netlist.NodeID) bool {
 // its (isolated) write bit line swings — the locality the paper's tail
 // phase depends on.
 func (s *Simulator) faultInert(fs *faultState) bool {
-	if len(fs.recs) > 0 {
+	if fs.recs.size() > 0 {
 		return false
 	}
 	if pin, ok := fs.f.PinnedState(); ok {
@@ -228,87 +211,29 @@ func (s *Simulator) wasTouched(n netlist.NodeID) bool {
 	return s.touchStamp[n] == s.touchEpoch
 }
 
-// stepFaulty re-simulates faulty circuit ci for the current setting: a
-// serial-fidelity replay of the setting against the circuit's own
-// pre-step state. The perturbation seeds are exactly those a standalone
-// serial simulation would use — the circuit's own response to the input
-// setting — so the replay's event order, and therefore every
-// transient-sensitive charge state, matches a serial simulation
-// bit-for-bit. The scheduler's interest hits decide only *whether* the
-// circuit runs, never what it re-solves: extra seeds would re-solve
-// vicinities at the wrong point in the wave and capture transients a
-// serial simulation never produces.
-func (s *Simulator) stepFaulty(ci CircuitID, setting switchsim.Setting, extraSeeds []netlist.NodeID, traj switchsim.Trajectory, goodChanged []netlist.NodeID) {
-	fs := s.faults[ci-1]
-
-	// Materialize the faulty circuit's pre-step view: the good circuit's
-	// pre-step state overlaid with the divergence records, transistor
-	// states fixed up for divergent gates, and the fault pin applied.
-	// Re-applying the fault is a materialization fix-up (the copied
-	// transistor states are the good circuit's), not a perturbation, so
-	// its seeds are discarded.
-	s.scratch.CopyStateFrom(s.prev)
-	s.scratch.ClearFaults()
-	for n, v := range fs.recs {
-		s.scratch.OverrideValue(n, v)
-	}
-	for n := range fs.recs {
-		s.scratch.RefreshGates(n)
-	}
-	fs.f.Apply(s.scratch)
-
-	seeds := extraSeeds
-	if setting != nil {
-		seeds = append(seeds, s.fsolve.ApplySetting(s.scratch, setting)...)
-	}
-
-	var res switchsim.SettleResult
-	if traj != nil {
-		res = s.fsolve.SettleReplay(s.scratch, seeds, traj, s.markInterest(ci))
-	} else {
-		res = s.fsolve.Settle(s.scratch, seeds)
-	}
-	if res.Oscillated {
-		fs.oscillated = true
-	}
-
-	// Write back: the faulty state may now differ from the good post-step
-	// state anywhere the faulty settle explored, anywhere the good
-	// circuit changed (divergence by inaction: the faulty circuit's wave
-	// was blocked where the good circuit's was not), and at the forced
-	// node; update records accordingly.
-	s.diffEpoch++
-	s.diffInto(ci, res.Explored)
-	s.diffInto(ci, goodChanged)
-	if fs.f.Kind.IsNodeFault() {
-		s.diffInto(ci, []netlist.NodeID{fs.f.Node})
-	}
-}
-
 // observe compares every observed output of every circuit holding a
 // divergence record there against the good circuit, recording detections
 // and dropping circuits per the policy. Only circuits that actually
 // diverge at an output are examined — the paper's reason for keeping
 // per-node state lists.
 func (s *Simulator) observe() []int {
-	var detectedNow []int
+	detectedNow := s.detBuf[:0]
 	for _, o := range s.opts.Observe {
 		gv := s.good.Value(o)
-		// Iterate over a copy: drops mutate the list.
 		circs := s.nodeCircs[o]
 		if len(circs) == 0 {
 			continue
 		}
-		tmp := make([]CircuitID, len(circs))
-		copy(tmp, circs)
-		for _, ci := range tmp {
+		// Iterate over a reused snapshot: drops mutate the list.
+		s.obsBuf = append(s.obsBuf[:0], circs...)
+		for _, ci := range s.obsBuf {
 			fs := s.faults[ci-1]
 			if fs.dropped {
 				continue // dropped at an earlier output this observation
 			}
-			fv := fs.recs[o]
-			if fv == gv {
-				continue // defensive: records should always differ
+			fv, ok := fs.recs.get(o)
+			if !ok || fv == gv {
+				continue // defensive: records should exist and differ
 			}
 			hard := gv.Definite() && fv.Definite()
 			// Under DropHardOnly, an X-vs-definite difference is only a
@@ -336,6 +261,7 @@ func (s *Simulator) observe() []int {
 			}
 		}
 	}
+	s.detBuf = detectedNow
 	return detectedNow
 }
 

@@ -9,7 +9,8 @@ import (
 
 // Tables holds per-network constant lookups shared by all circuits over
 // the same network: the strength-scale positions of node charges and
-// transistor drives.
+// transistor drives, plus flat CSR adjacency so the settling kernels walk
+// contiguous edge records instead of chasing netlist structs.
 type Tables struct {
 	Net *netlist.Network
 	// Charge[n] is the charge strength κ of storage node n, or ω for an
@@ -17,6 +18,34 @@ type Tables struct {
 	Charge []logic.Strength
 	// Drive[t] is the drive strength γ of transistor t.
 	Drive []logic.Strength
+
+	// isInput[n] reports a declared input node (ω source).
+	isInput []bool
+
+	// Channel adjacency: for node n, chanEdges[chanOff[n]:chanOff[n+1]]
+	// lists the transistors on whose channel n lies, with the opposite
+	// terminal and the drive strength inlined.
+	chanOff   []int32
+	chanEdges []ChanEdge
+	// Gate adjacency: for node n, gateEdges[gateOff[n]:gateOff[n+1]]
+	// lists the transistors gated by n, with type and both channel
+	// terminals inlined.
+	gateOff   []int32
+	gateEdges []GateEdge
+}
+
+// ChanEdge is one flattened channel-adjacency record.
+type ChanEdge struct {
+	T     netlist.TransID
+	Other netlist.NodeID
+	Drive logic.Strength
+}
+
+// GateEdge is one flattened gate-adjacency record.
+type GateEdge struct {
+	T        netlist.TransID
+	Src, Drn netlist.NodeID
+	Typ      logic.TransistorType
 }
 
 // NewTables precomputes strength tables for a finalized network.
@@ -25,18 +54,56 @@ func NewTables(nw *netlist.Network) *Tables {
 		panic("switchsim: network not finalized")
 	}
 	tab := &Tables{
-		Net:    nw,
-		Charge: make([]logic.Strength, nw.NumNodes()),
-		Drive:  make([]logic.Strength, nw.NumTransistors()),
+		Net:     nw,
+		Charge:  make([]logic.Strength, nw.NumNodes()),
+		Drive:   make([]logic.Strength, nw.NumTransistors()),
+		isInput: make([]bool, nw.NumNodes()),
+		chanOff: make([]int32, nw.NumNodes()+1),
+		gateOff: make([]int32, nw.NumNodes()+1),
 	}
 	for i := 0; i < nw.NumNodes(); i++ {
 		tab.Charge[i] = nw.ChargeStrength(netlist.NodeID(i))
+		tab.isInput[i] = nw.Node(netlist.NodeID(i)).Kind == netlist.Input
 	}
 	for i := 0; i < nw.NumTransistors(); i++ {
 		tab.Drive[i] = nw.DriveStrength(netlist.TransID(i))
 	}
+	for i := 0; i < nw.NumNodes(); i++ {
+		n := netlist.NodeID(i)
+		for _, t := range nw.Channel(n) {
+			tab.chanEdges = append(tab.chanEdges, ChanEdge{
+				T:     t,
+				Other: nw.Transistor(t).Other(n),
+				Drive: tab.Drive[t],
+			})
+		}
+		tab.chanOff[i+1] = int32(len(tab.chanEdges))
+		for _, t := range nw.GatedBy(n) {
+			tr := nw.Transistor(t)
+			tab.gateEdges = append(tab.gateEdges, GateEdge{
+				T:   t,
+				Src: tr.Source,
+				Drn: tr.Drain,
+				Typ: tr.Type,
+			})
+		}
+		tab.gateOff[i+1] = int32(len(tab.gateEdges))
+	}
 	return tab
 }
+
+// ChannelOf returns node n's flattened channel adjacency.
+func (tab *Tables) ChannelOf(n netlist.NodeID) []ChanEdge {
+	return tab.chanEdges[tab.chanOff[n]:tab.chanOff[n+1]]
+}
+
+// GatedByOf returns node n's flattened gate adjacency.
+func (tab *Tables) GatedByOf(n netlist.NodeID) []GateEdge {
+	return tab.gateEdges[tab.gateOff[n]:tab.gateOff[n+1]]
+}
+
+// IsInput reports whether n is a declared input node.
+func (tab *Tables) IsInput(n netlist.NodeID) bool { return tab.isInput[n] }
 
 const (
 	unpinned = int8(-1)
@@ -64,6 +131,15 @@ type Circuit struct {
 	// nPins/nForces track whether any pins exist, to fast-path the good
 	// circuit.
 	nPins, nForces int
+
+	// inputLike[n] caches forceNode[n] != unforced || declared-input:
+	// the settling kernels test it once per edge walk.
+	inputLike []bool
+
+	// seedBuf is the reusable perturbation buffer returned by SetInput,
+	// ForceNode, PinTransistor and friends: valid until the next mutating
+	// call on this circuit.
+	seedBuf []netlist.NodeID
 }
 
 // NewCircuit allocates a circuit over the given tables with all nodes at
@@ -75,6 +151,7 @@ func NewCircuit(tab *Tables) *Circuit {
 		ts:        make([]logic.Value, tab.Net.NumTransistors()),
 		pinTrans:  make([]int8, tab.Net.NumTransistors()),
 		forceNode: make([]int8, tab.Net.NumNodes()),
+		inputLike: append([]bool(nil), tab.isInput...),
 	}
 	for i := range c.pinTrans {
 		c.pinTrans[i] = unpinned
@@ -137,18 +214,20 @@ func (c *Circuit) TransState(t netlist.TransID) logic.Value { return c.ts[t] }
 // IsInputLike reports whether node n acts as a signal source: a declared
 // input node or a node forced by a stuck-at fault.
 func (c *Circuit) IsInputLike(n netlist.NodeID) bool {
-	return c.forceNode[n] != unforced || c.Tab.Net.Node(n).Kind == netlist.Input
+	return c.inputLike[n]
 }
 
 // PinTransistor pins transistor t's conduction state (stuck-open: Lo,
 // stuck-closed: Hi) and returns the storage-node terminals perturbed by
-// the change, which the caller should settle.
+// the change, which the caller should settle. The returned slice is
+// reusable scratch, valid until the next mutating call on this circuit.
 func (c *Circuit) PinTransistor(t netlist.TransID, state logic.Value) []netlist.NodeID {
 	if c.pinTrans[t] == unpinned {
 		c.nPins++
 	}
 	c.pinTrans[t] = int8(state)
-	return c.applyTransState(t)
+	c.seedBuf = c.applyTransState(t, c.seedBuf[:0])
+	return c.seedBuf
 }
 
 // UnpinTransistor removes a pin, returning perturbed terminals.
@@ -157,24 +236,26 @@ func (c *Circuit) UnpinTransistor(t netlist.TransID) []netlist.NodeID {
 		c.nPins--
 	}
 	c.pinTrans[t] = unpinned
-	return c.applyTransState(t)
+	c.seedBuf = c.applyTransState(t, c.seedBuf[:0])
+	return c.seedBuf
 }
 
-func (c *Circuit) applyTransState(t netlist.TransID) []netlist.NodeID {
+// applyTransState recomputes transistor t's conduction state and appends
+// the perturbed storage-node terminals to buf.
+func (c *Circuit) applyTransState(t netlist.TransID, buf []netlist.NodeID) []netlist.NodeID {
 	ns := c.transistorState(t)
 	if ns == c.ts[t] {
-		return nil
+		return buf
 	}
 	c.ts[t] = ns
 	tr := c.Tab.Net.Transistor(t)
-	var seeds []netlist.NodeID
 	if !c.IsInputLike(tr.Source) {
-		seeds = append(seeds, tr.Source)
+		buf = append(buf, tr.Source)
 	}
 	if !c.IsInputLike(tr.Drain) {
-		seeds = append(seeds, tr.Drain)
+		buf = append(buf, tr.Drain)
 	}
-	return seeds
+	return buf
 }
 
 // ForceNode pins node n to a state: n behaves as an input node set to the
@@ -185,6 +266,7 @@ func (c *Circuit) ForceNode(n netlist.NodeID, state logic.Value) []netlist.NodeI
 		c.nForces++
 	}
 	c.forceNode[n] = int8(state)
+	c.inputLike[n] = true
 	return c.setNodeValue(n, state)
 }
 
@@ -195,6 +277,7 @@ func (c *Circuit) UnforceNode(n netlist.NodeID) []netlist.NodeID {
 		c.nForces--
 	}
 	c.forceNode[n] = unforced
+	c.inputLike[n] = c.Tab.isInput[n]
 	// The node's stored value is now ordinary charge; neighbors must
 	// re-settle since the strong source disappeared.
 	return c.perturbAround(n)
@@ -211,6 +294,7 @@ func (c *Circuit) ClearFaults() {
 	for i := range c.forceNode {
 		c.forceNode[i] = unforced
 	}
+	copy(c.inputLike, c.Tab.isInput)
 	c.nPins, c.nForces = 0, 0
 }
 
@@ -239,26 +323,25 @@ func (c *Circuit) setNodeValue(n netlist.NodeID, v logic.Value) []netlist.NodeID
 }
 
 func (c *Circuit) perturbAround(n netlist.NodeID) []netlist.NodeID {
-	nw := c.Tab.Net
-	var seeds []netlist.NodeID
+	seeds := c.seedBuf[:0]
 	// Transistors gated by n change conduction state.
-	for _, t := range nw.GatedBy(n) {
-		seeds = append(seeds, c.applyTransState(t)...)
+	for _, e := range c.Tab.GatedByOf(n) {
+		seeds = c.applyTransState(e.T, seeds)
 	}
 	// Storage nodes connected to n by a conducting (1 or X) transistor
 	// are perturbed by the new source value.
-	for _, t := range nw.Channel(n) {
-		if c.ts[t] == logic.Lo {
+	for _, e := range c.Tab.ChannelOf(n) {
+		if c.ts[e.T] == logic.Lo {
 			continue
 		}
-		other := nw.Transistor(t).Other(n)
-		if !c.IsInputLike(other) {
-			seeds = append(seeds, other)
+		if !c.IsInputLike(e.Other) {
+			seeds = append(seeds, e.Other)
 		}
 	}
 	if !c.IsInputLike(n) {
 		seeds = append(seeds, n)
 	}
+	c.seedBuf = seeds
 	return seeds
 }
 
@@ -273,9 +356,56 @@ func (c *Circuit) OverrideValue(n netlist.NodeID, v logic.Value) {
 // RefreshGates recomputes the conduction states of the transistors gated
 // by node n from its current value (and any pins).
 func (c *Circuit) RefreshGates(n netlist.NodeID) {
-	for _, t := range c.Tab.Net.GatedBy(n) {
-		c.ts[t] = c.transistorState(t)
+	gv := c.val[n]
+	for _, e := range c.Tab.GatedByOf(n) {
+		if p := c.pinTrans[e.T]; p != unpinned {
+			c.ts[e.T] = logic.Value(p)
+			continue
+		}
+		c.ts[e.T] = logic.SwitchState(e.Typ, gv)
 	}
+}
+
+// DropForce removes a node force without touching the node's value,
+// perturbation bookkeeping, or transistor states: the materialization-undo
+// counterpart of ForceNode. Callers restore the value separately.
+func (c *Circuit) DropForce(n netlist.NodeID) {
+	if c.forceNode[n] != unforced {
+		c.nForces--
+		c.forceNode[n] = unforced
+		c.inputLike[n] = c.Tab.isInput[n]
+	}
+}
+
+// DropPin removes a transistor pin and recomputes the transistor's
+// conduction state from its (already restored) gate value: the
+// materialization-undo counterpart of PinTransistor.
+func (c *Circuit) DropPin(t netlist.TransID) {
+	if c.pinTrans[t] != unpinned {
+		c.nPins--
+		c.pinTrans[t] = unpinned
+	}
+	c.ts[t] = c.transistorState(t)
+}
+
+// StateEquals reports whether c and o hold identical node values,
+// transistor states, and fault pins. Used by tests to verify the
+// concurrent simulator's scratch-mirror invariant.
+func (c *Circuit) StateEquals(o *Circuit) bool {
+	if c.Tab != o.Tab || c.nPins != o.nPins || c.nForces != o.nForces {
+		return false
+	}
+	for i := range c.val {
+		if c.val[i] != o.val[i] || c.forceNode[i] != o.forceNode[i] {
+			return false
+		}
+	}
+	for i := range c.ts {
+		if c.ts[i] != o.ts[i] || c.pinTrans[i] != o.pinTrans[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // CopyStateFrom copies node values and transistor states from src, which

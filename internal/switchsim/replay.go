@@ -25,20 +25,30 @@ import (
 // inaction" — the caller's good-changed diff records the difference).
 //
 // Flags blocking adoption accumulate per replay: the static interest set
-// (divergence records and their gated terminals, fault sites), members of
-// vicinities this replay solves, the channel terminals of transistors
+// (divergence records and their gated terminals, fault sites, and any
+// node that is input-like in c but not in the good circuit — i.e. fault
+// forces) seeded by the caller through BeginReplay/SeedDiverged, members
+// of vicinities this replay solves, the channel terminals of transistors
 // those members gate, and the change sites of unadopted trajectory
-// vicinities (with their gated terminals). Blocking is conservative: a
-// blocked-but-identical vicinity is simply solved by the wave with the
-// same result, at the cost of extra work.
-func (s *Solver) SettleReplay(c *Circuit, seeds []netlist.NodeID, traj Trajectory, interesting func(netlist.NodeID) bool) SettleResult {
+// vicinities (with their gated terminals). The diverged set is kept as a
+// queue re-scanned against each round's member→vicinity index, so
+// per-round flagging costs O(diverged set), not O(trajectory). Blocking
+// is conservative: a blocked-but-identical vicinity is simply solved by
+// the wave with the same result, at the cost of extra work.
+//
+// Callers MUST call BeginReplay (then SeedDiverged for each statically
+// diverged node) before each SettleReplay; the replay consumes the epoch.
+// The replay ends as soon as its pending queue drains: trajectory rounds
+// beyond the circuit's own wave cannot affect its state (unreached
+// vicinities are never adopted, and divergence-by-inaction is the
+// caller's good-changed diff), so they are not scanned.
+func (s *Solver) SettleReplay(c *Circuit, seeds []netlist.NodeID, traj *Trajectory) SettleResult {
 	nw := s.tab.Net
 	s.work.Settles++
 	s.exploredEpoch++
 	s.explored = s.explored[:0]
 	s.changedEpoch++
 	s.changed = s.changed[:0]
-	s.dynEpoch++
 
 	maxRounds := s.MaxRounds
 	if maxRounds <= 0 {
@@ -46,53 +56,22 @@ func (s *Solver) SettleReplay(c *Circuit, seeds []netlist.NodeID, traj Trajector
 	}
 	hardCap := maxRounds + 2*(nw.NumNodes()+nw.NumTransistors()) + 16
 
-	var pend, next []netlist.NodeID
+	s.pend = s.pend[:0]
+	s.next = s.next[:0]
 	s.pendEpoch++
 	for _, n := range seeds {
 		if c.IsInputLike(n) || s.pendStamp[n] == s.pendEpoch {
 			continue
 		}
 		s.pendStamp[n] = s.pendEpoch
-		pend = append(pend, n)
+		s.pend = append(s.pend, n)
 	}
 
 	res := SettleResult{}
-	var newVal []logic.Value
 	xmode := false
+	adopted := int64(0)
 
-	// propagate switches the transistors gated by a changed node and
-	// schedules the perturbed terminals for the next round.
-	propagate := func(u netlist.NodeID) {
-		for _, t := range nw.GatedBy(u) {
-			ns := c.transistorState(t)
-			if ns == c.ts[t] {
-				continue
-			}
-			c.ts[t] = ns
-			tr := nw.Transistor(t)
-			for _, w := range [2]netlist.NodeID{tr.Source, tr.Drain} {
-				if c.IsInputLike(w) || s.pendStamp[w] == s.pendEpoch {
-					continue
-				}
-				s.pendStamp[w] = s.pendEpoch
-				next = append(next, w)
-			}
-		}
-	}
-
-	// markDiverged flags a node that may now differ from the good
-	// circuit, together with the channel terminals of the transistors it
-	// gates (which may consequently switch differently).
-	markDiverged := func(u netlist.NodeID) {
-		s.markDyn(u)
-		for _, t := range nw.GatedBy(u) {
-			tr := nw.Transistor(t)
-			s.markDyn(tr.Source)
-			s.markDyn(tr.Drain)
-		}
-	}
-
-	for round := 0; len(pend) > 0 || round < len(traj); round++ {
+	for round := 0; len(s.pend) > 0; round++ {
 		res.Rounds++
 		s.work.Rounds++
 		if res.Rounds > maxRounds && !xmode {
@@ -100,7 +79,7 @@ func (s *Solver) SettleReplay(c *Circuit, seeds []netlist.NodeID, traj Trajector
 			res.Oscillated = true
 		}
 		if res.Rounds > hardCap {
-			for _, n := range pend {
+			for _, n := range s.pend {
 				if c.val[n] != logic.X {
 					c.val[n] = logic.X
 					s.noteChanged(n)
@@ -110,74 +89,93 @@ func (s *Solver) SettleReplay(c *Circuit, seeds []netlist.NodeID, traj Trajector
 		}
 
 		s.epoch++ // vicinity stamps for this round
-		next = next[:0]
+		s.next = s.next[:0]
 		s.pendEpoch++
 
 		var trajRound []VicTrace
-		if round < len(traj) {
-			trajRound = traj[round]
-		}
-		// Index this round's trajectory vicinities by member node.
-		for vi := range trajRound {
-			for _, u := range trajRound[vi].Members {
-				s.work.AdoptedChanges++ // indexing cost, counted honestly
-				s.nodeVic[u] = int32(vi)
-				s.nodeVicStamp[u] = s.epoch
-			}
+		if round < traj.NumRounds() {
+			trajRound = traj.Round(round)
 		}
 		if cap(s.vicAdopted) < len(trajRound) {
 			s.vicAdopted = make([]bool, len(trajRound)*2)
 		}
 		flagged := s.vicAdopted[:len(trajRound)]
-		for i := range flagged {
-			flagged[i] = false
-		}
 
-		// Pass A — divergence-marking fixpoint over the round's
-		// trajectory vicinities. The good circuit propagates eagerly
-		// within a round, so one round's trajectory can contain chains of
+		// Pass A — index this round's trajectory vicinities by member
+		// node and compute initial divergence flags in the same
+		// traversal: a vicinity containing a diverged (or fault-forced)
+		// member must not be adopted, and its unfollowed changes may
+		// leave their nodes — and the transistors they gate — diverged.
+		genRound := s.dynGen
+		for vi := range trajRound {
+			vt := &trajRound[vi]
+			flag := false
+			for _, u := range vt.Members {
+				adopted++ // indexing cost, counted honestly
+				s.nodeVic[u] = int32(vi)
+				s.nodeVicStamp[u] = s.epoch
+				if !flag && (s.dynStamp[u] == s.dynEpoch || c.IsInputLike(u)) {
+					flag = true
+				}
+			}
+			flagged[vi] = flag
+			if flag {
+				for _, ch := range vt.Changes {
+					s.markDiverged(ch.Node)
+				}
+			}
+		}
+		// Fixpoint continuation, needed only when the first traversal
+		// added marks: the good circuit propagates eagerly within a
+		// round, so one round's trajectory can contain chains of
 		// dependent vicinities; a vicinity whose changes this circuit
 		// will not follow must poison downstream vicinities of the SAME
 		// round before any adoption decision is made.
-		for again := true; again; {
-			again = false
-			for vi := range trajRound {
-				if flagged[vi] {
-					continue
-				}
-				vt := &trajRound[vi]
-				for _, u := range vt.Members {
-					s.work.AdoptedChanges++
-					if s.dynStamp[u] == s.dynEpoch || c.IsInputLike(u) || interesting(u) {
-						flagged[vi] = true
-						again = true
-						// The unfollowed changes may leave these nodes —
-						// and the transistors they gate — diverged.
-						for _, ch := range vt.Changes {
-							markDiverged(ch.Node)
+		if s.dynGen != genRound {
+			for again := true; again; {
+				again = false
+				for vi := range trajRound {
+					if flagged[vi] {
+						continue
+					}
+					vt := &trajRound[vi]
+					for _, u := range vt.Members {
+						adopted++
+						if s.dynStamp[u] == s.dynEpoch || c.IsInputLike(u) {
+							flagged[vi] = true
+							again = true
+							for _, ch := range vt.Changes {
+								s.markDiverged(ch.Node)
+							}
+							break
 						}
-						break
 					}
 				}
 			}
 		}
+		genA := s.dynGen // divergence set as of the adoption decisions
 
 		// Pass B — service the pend queue in order: adopt where provably
 		// identical (re-checking against marks added by this pass's own
 		// solves), solve otherwise.
-		for _, seed := range pend {
+		for _, seed := range s.pend {
 			if c.IsInputLike(seed) || s.stamp[seed] == s.epoch {
 				continue // forced by the fault, or already serviced
 			}
 			if s.nodeVicStamp[seed] == s.epoch && !flagged[s.nodeVic[seed]] {
-				vi := s.nodeVic[seed]
-				vt := &trajRound[vi]
-				adoptable := true
-				for _, u := range vt.Members {
-					s.work.AdoptedChanges++
-					if s.dynStamp[u] == s.dynEpoch {
-						adoptable = false
-						break
+				vt := &trajRound[s.nodeVic[seed]]
+				// An unflagged vicinity had no diverged member at the end
+				// of Pass A; if no mark was added since (no solve ran),
+				// that still holds and the member re-scan is skipped.
+				adoptable := s.dynGen == genA
+				if !adoptable {
+					adoptable = true
+					for _, u := range vt.Members {
+						adopted++
+						if s.dynStamp[u] == s.dynEpoch {
+							adoptable = false
+							break
+						}
 					}
 				}
 				if adoptable {
@@ -190,13 +188,13 @@ func (s *Solver) SettleReplay(c *Circuit, seeds []netlist.NodeID, traj Trajector
 						if xmode {
 							nv = logic.Lub(c.val[u], nv)
 						}
-						s.work.AdoptedChanges++
+						adopted++
 						if nv == c.val[u] {
 							continue
 						}
 						c.val[u] = nv
 						s.noteChanged(u)
-						propagate(u)
+						s.propagate(c, u)
 					}
 					continue
 				}
@@ -210,12 +208,9 @@ func (s *Solver) SettleReplay(c *Circuit, seeds []netlist.NodeID, traj Trajector
 					s.exploredStamp[u] = s.exploredEpoch
 					s.explored = append(s.explored, u)
 				}
-				markDiverged(u)
+				s.markDiverged(u)
 			}
-			if cap(newVal) < len(s.vic) {
-				newVal = make([]logic.Value, len(s.vic)*2)
-			}
-			newVal = newVal[:len(s.vic)]
+			newVal := s.vicNewVal()
 			s.solveVicinity(c, newVal)
 			for i, u := range s.vic {
 				nv := newVal[i]
@@ -227,14 +222,41 @@ func (s *Solver) SettleReplay(c *Circuit, seeds []netlist.NodeID, traj Trajector
 				}
 				c.val[u] = nv
 				s.noteChanged(u)
-				propagate(u)
+				s.propagate(c, u)
 			}
 		}
 
-		pend, next = next, pend
+		s.pend, s.next = s.next, s.pend
 	}
 
+	s.work.AdoptedChanges += adopted
 	res.Changed = s.changed
 	res.Explored = s.explored
 	return res
+}
+
+// BeginReplay opens a new replay divergence epoch: the caller seeds the
+// statically diverged nodes (divergence records with their gated channel
+// terminals, fault sites, fault-forced nodes) via SeedDiverged, then runs
+// SettleReplay, which consumes the epoch. Folding the static set into the
+// dynamic divergence queue lets the adoption flagging cost scale with the
+// circuit's divergence instead of the trajectory size.
+func (s *Solver) BeginReplay() {
+	s.dynEpoch++
+}
+
+// SeedDiverged marks node n as statically diverged from the good circuit
+// for the upcoming SettleReplay: trajectory vicinities containing n are
+// solved rather than adopted.
+func (s *Solver) SeedDiverged(n netlist.NodeID) { s.markDyn(n) }
+
+// markDiverged flags a node that may now differ from the good circuit,
+// together with the channel terminals of the transistors it gates (which
+// may consequently switch differently).
+func (s *Solver) markDiverged(u netlist.NodeID) {
+	s.markDyn(u)
+	for _, e := range s.tab.GatedByOf(u) {
+		s.markDyn(e.Src)
+		s.markDyn(e.Drn)
+	}
 }

@@ -35,8 +35,8 @@ func TestTrajectoryRecording(t *testing.T) {
 	set := switchsim.MustVector(nw, map[string]logic.Value{"a": logic.Hi})
 	res := sv.Step(c, set)
 
-	if len(sv.Traj) != res.Rounds {
-		t.Fatalf("trajectory has %d rounds, settle reported %d", len(sv.Traj), res.Rounds)
+	if sv.Traj.NumRounds() != res.Rounds {
+		t.Fatalf("trajectory has %d rounds, settle reported %d", sv.Traj.NumRounds(), res.Rounds)
 	}
 	// Every recorded change must match the circuit's evolution: the final
 	// recorded value per node equals the circuit's final value, and
@@ -47,8 +47,8 @@ func TestTrajectoryRecording(t *testing.T) {
 	}
 	final := map[netlist.NodeID]logic.Value{}
 	total := 0
-	for _, round := range sv.Traj {
-		for _, vt := range round {
+	for r := 0; r < sv.Traj.NumRounds(); r++ {
+		for _, vt := range sv.Traj.Round(r) {
 			if len(vt.Members) == 0 {
 				t.Fatal("empty vicinity recorded")
 			}
@@ -96,7 +96,8 @@ func TestReplayPureAdoption(t *testing.T) {
 
 	seeds := fsv.ApplySetting(shadow, set)
 	w0 := fsv.Work()
-	res := fsv.SettleReplay(shadow, seeds, gsv.Traj, func(netlist.NodeID) bool { return false })
+	fsv.BeginReplay()
+	res := fsv.SettleReplay(shadow, seeds, &gsv.Traj)
 	d := fsv.Work().Sub(w0)
 
 	for i := 0; i < nw.NumNodes(); i++ {
@@ -137,7 +138,9 @@ func TestReplayBlockedVicinitySolved(t *testing.T) {
 
 	seeds := fsv.ApplySetting(shadow, set)
 	w0 := fsv.Work()
-	fsv.SettleReplay(shadow, seeds, gsv.Traj, func(n netlist.NodeID) bool { return n == n2 })
+	fsv.BeginReplay()
+	fsv.SeedDiverged(n2)
+	fsv.SettleReplay(shadow, seeds, &gsv.Traj)
 	d := fsv.Work().Sub(w0)
 
 	if d.Vicinities == 0 {
@@ -172,12 +175,13 @@ func TestReplayRandomNoFaultMatchesGood(t *testing.T) {
 			set := tc.RandomSetting(rng, 10)
 			seeds := fsv.ApplySetting(shadow, set)
 			res := gsv.Step(good, set)
-			traj := gsv.Traj
+			traj := &gsv.Traj
 			if res.Oscillated {
 				fsv.Settle(shadow, seeds)
 				continue
 			}
-			fsv.SettleReplay(shadow, seeds, traj, func(netlist.NodeID) bool { return false })
+			fsv.BeginReplay()
+			fsv.SettleReplay(shadow, seeds, traj)
 			for i := 0; i < tc.Net.NumNodes(); i++ {
 				id := netlist.NodeID(i)
 				if shadow.Value(id) != good.Value(id) {

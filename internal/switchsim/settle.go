@@ -49,8 +49,22 @@ type VicTrace struct {
 
 // Trajectory is a full settling history: the solved vicinities of each
 // round, in order. It is the "good circuit script" the concurrent
-// simulator's faulty-circuit replays follow.
-type Trajectory [][]VicTrace
+// simulator's faulty-circuit replays follow. Its storage is owned by the
+// recording solver and reused: a trajectory is valid only until the next
+// recording Settle on the same Solver.
+type Trajectory struct {
+	rounds [][]VicTrace
+}
+
+// NumRounds returns the number of recorded rounds.
+func (tr *Trajectory) NumRounds() int { return len(tr.rounds) }
+
+// Round returns the solved vicinities of round r.
+func (tr *Trajectory) Round(r int) []VicTrace { return tr.rounds[r] }
+
+func (tr *Trajectory) reset() {
+	tr.rounds = tr.rounds[:0]
+}
 
 // Settle drives the circuit to a steady state starting from the given
 // perturbed storage nodes, per the paper's scheduling: the simulation of a
@@ -78,24 +92,24 @@ func (s *Solver) Settle(c *Circuit, seeds []netlist.NodeID) SettleResult {
 	// transistor follows, so settling is guaranteed within the hard cap.
 	hardCap := maxRounds + 2*(nw.NumNodes()+nw.NumTransistors()) + 16
 
-	var pend, next []netlist.NodeID
+	s.pend = s.pend[:0]
+	s.next = s.next[:0]
 	s.pendEpoch++
 	for _, n := range seeds {
 		if c.IsInputLike(n) || s.pendStamp[n] == s.pendEpoch {
 			continue
 		}
 		s.pendStamp[n] = s.pendEpoch
-		pend = append(pend, n)
+		s.pend = append(s.pend, n)
 	}
 
 	res := SettleResult{}
-	var newVal []logic.Value
 	xmode := false
 	if s.Record {
-		s.Traj = s.Traj[:0]
+		s.Traj.reset()
 	}
 
-	for len(pend) > 0 {
+	for len(s.pend) > 0 {
 		res.Rounds++
 		s.work.Rounds++
 		if res.Rounds > maxRounds && !xmode {
@@ -104,7 +118,7 @@ func (s *Solver) Settle(c *Circuit, seeds []netlist.NodeID) SettleResult {
 		}
 		if res.Rounds > hardCap {
 			// Unreachable in practice; resolve whatever is left to X and stop.
-			for _, n := range pend {
+			for _, n := range s.pend {
 				if c.val[n] != logic.X {
 					c.val[n] = logic.X
 					s.noteChanged(n)
@@ -114,11 +128,14 @@ func (s *Solver) Settle(c *Circuit, seeds []netlist.NodeID) SettleResult {
 		}
 
 		s.epoch++ // fresh vicinity stamps for this round
-		next = next[:0]
+		s.next = s.next[:0]
 		s.pendEpoch++
 		var roundTrace []VicTrace
+		if s.Record {
+			roundTrace = s.nextRoundBuf()
+		}
 
-		for _, seed := range pend {
+		for _, seed := range s.pend {
 			if !s.exploreVicinity(c, seed) {
 				continue // input-like, or already solved this round
 			}
@@ -128,18 +145,13 @@ func (s *Solver) Settle(c *Circuit, seeds []netlist.NodeID) SettleResult {
 					s.explored = append(s.explored, u)
 				}
 			}
-			if cap(newVal) < len(s.vic) {
-				newVal = make([]logic.Value, len(s.vic)*2)
-			}
-			newVal = newVal[:len(s.vic)]
+			newVal := s.vicNewVal()
 			s.solveVicinity(c, newVal)
 
 			var vt *VicTrace
 			if s.Record {
-				roundTrace = append(roundTrace, VicTrace{
-					Members: append([]netlist.NodeID(nil), s.vic...),
-				})
-				vt = &roundTrace[len(roundTrace)-1]
+				roundTrace, vt = appendVicTrace(roundTrace)
+				vt.Members = append(vt.Members, s.vic...)
 			}
 
 			for i, u := range s.vic {
@@ -157,32 +169,87 @@ func (s *Solver) Settle(c *Circuit, seeds []netlist.NodeID) SettleResult {
 				}
 				// The state change switches the transistors this node
 				// gates; their channel terminals are perturbed next round.
-				for _, t := range nw.GatedBy(u) {
-					ns := c.transistorState(t)
-					if ns == c.ts[t] {
-						continue
-					}
-					c.ts[t] = ns
-					tr := nw.Transistor(t)
-					for _, w := range [2]netlist.NodeID{tr.Source, tr.Drain} {
-						if c.IsInputLike(w) || s.pendStamp[w] == s.pendEpoch {
-							continue
-						}
-						s.pendStamp[w] = s.pendEpoch
-						next = append(next, w)
-					}
-				}
+				s.propagate(c, u)
 			}
 		}
 		if s.Record {
-			s.Traj = append(s.Traj, roundTrace)
+			s.storeRound(roundTrace)
 		}
-		pend, next = next, pend
+		s.pend, s.next = s.next, s.pend
 	}
 
 	res.Changed = s.changed
 	res.Explored = s.explored
 	return res
+}
+
+// propagate switches the transistors gated by changed node u and schedules
+// the perturbed channel terminals into the next round's pending set.
+func (s *Solver) propagate(c *Circuit, u netlist.NodeID) {
+	gv := c.val[u]
+	for _, e := range s.tab.GatedByOf(u) {
+		ns := logic.SwitchState(e.Typ, gv)
+		if p := c.pinTrans[e.T]; p != unpinned {
+			ns = logic.Value(p)
+		}
+		if ns == c.ts[e.T] {
+			continue
+		}
+		c.ts[e.T] = ns
+		for _, w := range [2]netlist.NodeID{e.Src, e.Drn} {
+			if c.IsInputLike(w) || s.pendStamp[w] == s.pendEpoch {
+				continue
+			}
+			s.pendStamp[w] = s.pendEpoch
+			s.next = append(s.next, w)
+		}
+	}
+}
+
+// vicNewVal returns the reusable new-value buffer sized to the current
+// vicinity.
+func (s *Solver) vicNewVal() []logic.Value {
+	if cap(s.newVal) < len(s.vic) {
+		s.newVal = make([]logic.Value, len(s.vic)*2)
+	}
+	s.newVal = s.newVal[:len(s.vic)]
+	return s.newVal
+}
+
+// nextRoundBuf returns a length-0 round buffer, reusing the backing array
+// the next trajectory slot held after a previous recording settle.
+func (s *Solver) nextRoundBuf() []VicTrace {
+	tr := &s.Traj
+	if len(tr.rounds) < cap(tr.rounds) {
+		return tr.rounds[:len(tr.rounds)+1][len(tr.rounds)][:0]
+	}
+	return nil
+}
+
+// storeRound appends the finished round to the trajectory.
+func (s *Solver) storeRound(rt []VicTrace) {
+	tr := &s.Traj
+	if len(tr.rounds) < cap(tr.rounds) {
+		tr.rounds = tr.rounds[:len(tr.rounds)+1]
+		tr.rounds[len(tr.rounds)-1] = rt
+	} else {
+		tr.rounds = append(tr.rounds, rt)
+	}
+}
+
+// appendVicTrace extends rt by one VicTrace, reusing the slot's previous
+// Members/Changes backing arrays when possible. The returned pointer is
+// valid until the next appendVicTrace call on rt.
+func appendVicTrace(rt []VicTrace) ([]VicTrace, *VicTrace) {
+	if len(rt) < cap(rt) {
+		rt = rt[:len(rt)+1]
+		vt := &rt[len(rt)-1]
+		vt.Members = vt.Members[:0]
+		vt.Changes = vt.Changes[:0]
+		return rt, vt
+	}
+	rt = append(rt, VicTrace{})
+	return rt, &rt[len(rt)-1]
 }
 
 func (s *Solver) noteChanged(n netlist.NodeID) {
@@ -193,12 +260,14 @@ func (s *Solver) noteChanged(n netlist.NodeID) {
 }
 
 // ApplySetting assigns the input values of one setting and returns the
-// union of the perturbed storage nodes (unsettled).
+// union of the perturbed storage nodes (unsettled). The returned slice is
+// solver-owned scratch, valid until the next ApplySetting on this Solver.
 func (s *Solver) ApplySetting(c *Circuit, setting Setting) []netlist.NodeID {
-	var seeds []netlist.NodeID
+	seeds := s.seedBuf[:0]
 	for _, a := range setting {
 		seeds = append(seeds, c.SetInput(a.Node, a.Value)...)
 	}
+	s.seedBuf = seeds
 	return seeds
 }
 

@@ -51,10 +51,14 @@ type Solver struct {
 	pendStamp []uint32
 	pendEpoch uint32
 
-	// Per-replay dynamic-interest stamps: nodes the replay has solved,
-	// plus channel terminals of transistors they gate (see SettleReplay).
+	// Per-replay dynamic-divergence stamps: statically diverged nodes
+	// seeded by the caller (BeginReplay/SeedDiverged), nodes the replay
+	// has solved, and channel terminals of transistors they gate (see
+	// SettleReplay). dynGen counts distinct marks, letting the replay
+	// prove "no divergence added since" without rescanning.
 	dynStamp []uint32
 	dynEpoch uint32
+	dynGen   uint64
 
 	// Per-round trajectory index: nodeVic[n] is the index of the
 	// trajectory vicinity containing n this round (valid when
@@ -66,6 +70,13 @@ type Solver struct {
 
 	vic   []netlist.NodeID // current vicinity member list
 	queue []netlist.NodeID // BFS queue
+
+	// Reusable settle-loop storage: the current and next rounds' pending
+	// seeds, the per-vicinity new-value buffer, and the ApplySetting seed
+	// buffer. All are valid only during/until the next Settle-family call.
+	pend, next []netlist.NodeID
+	newVal     []logic.Value
+	seedBuf    []netlist.NodeID
 
 	work Work
 }
@@ -90,9 +101,12 @@ func NewSolver(tab *Tables) *Solver {
 	}
 }
 
-// markDyn stamps a node into the current replay's dynamic-interest set.
+// markDyn stamps a node into the current replay's divergence set.
 func (s *Solver) markDyn(n netlist.NodeID) {
-	s.dynStamp[n] = s.dynEpoch
+	if s.dynStamp[n] != s.dynEpoch {
+		s.dynStamp[n] = s.dynEpoch
+		s.dynGen++
+	}
 }
 
 // Work returns the accumulated work counters.
@@ -112,7 +126,6 @@ func (s *Solver) exploreVicinity(c *Circuit, seed netlist.NodeID) bool {
 	if c.IsInputLike(seed) || s.stamp[seed] == s.epoch {
 		return false
 	}
-	nw := s.tab.Net
 	s.vic = s.vic[:0]
 	s.queue = s.queue[:0]
 	s.stamp[seed] = s.epoch
@@ -121,11 +134,11 @@ func (s *Solver) exploreVicinity(c *Circuit, seed netlist.NodeID) bool {
 		u := s.queue[len(s.queue)-1]
 		s.queue = s.queue[:len(s.queue)-1]
 		s.vic = append(s.vic, u)
-		for _, t := range nw.Channel(u) {
-			if !s.StaticLocality && c.ts[t] == logic.Lo {
+		for _, e := range s.tab.ChannelOf(u) {
+			if !s.StaticLocality && c.ts[e.T] == logic.Lo {
 				continue // the source and drain of an open transistor are electrically isolated
 			}
-			v := nw.Transistor(t).Other(u)
+			v := e.Other
 			if c.IsInputLike(v) {
 				continue // vicinities do not extend through input nodes
 			}
@@ -153,10 +166,11 @@ func (s *Solver) exploreVicinity(c *Circuit, seed netlist.NodeID) bool {
 // New value: 1 if Hd > Lp, 0 if Ld > Hp, else X. A signal of strength s
 // crossing a transistor of strength γ continues at min(s, γ).
 func (s *Solver) solveVicinity(c *Circuit, newVal []logic.Value) {
-	nw := s.tab.Net
 	vic := s.vic
 	s.work.Vicinities++
 	s.work.NodesSolved += int64(len(vic))
+
+	relax := int64(0)
 
 	// Phase 1: def relaxation (monotone max over the finite strength
 	// lattice; iterate to fixpoint).
@@ -166,13 +180,13 @@ func (s *Solver) solveVicinity(c *Circuit, newVal []logic.Value) {
 	for changed := true; changed; {
 		changed = false
 		for _, u := range vic {
-			s.work.RelaxSteps++
+			relax++
 			best := s.def[u]
-			for _, t := range nw.Channel(u) {
-				if c.ts[t] != logic.Hi {
+			for _, e := range s.tab.ChannelOf(u) {
+				if c.ts[e.T] != logic.Hi {
 					continue // only definitely-conducting paths carry definite signals
 				}
-				v := nw.Transistor(t).Other(u)
+				v := e.Other
 				var sv logic.Strength
 				if c.IsInputLike(v) {
 					sv = s.tab.Charge[v] // ω
@@ -181,7 +195,7 @@ func (s *Solver) solveVicinity(c *Circuit, newVal []logic.Value) {
 				} else {
 					continue
 				}
-				if a := logic.Attenuate(sv, s.tab.Drive[t]); a > best {
+				if a := logic.Attenuate(sv, e.Drive); a > best {
 					best = a
 				}
 			}
@@ -212,16 +226,16 @@ func (s *Solver) solveVicinity(c *Circuit, newVal []logic.Value) {
 	for changed := true; changed; {
 		changed = false
 		for _, u := range vic {
-			s.work.RelaxSteps++
+			relax++
 			blk := s.def[u]
 			bhd, bld, bhp, blp := s.hd[u], s.ld[u], s.hp[u], s.lp[u]
-			for _, t := range nw.Channel(u) {
-				st := c.ts[t]
+			for _, e := range s.tab.ChannelOf(u) {
+				st := c.ts[e.T]
 				if st == logic.Lo {
 					continue
 				}
-				v := nw.Transistor(t).Other(u)
-				g := s.tab.Drive[t]
+				v := e.Other
+				g := e.Drive
 				var vhd, vld, vhp, vlp logic.Strength
 				if c.IsInputLike(v) {
 					w := s.tab.Charge[v] // ω
@@ -261,6 +275,8 @@ func (s *Solver) solveVicinity(c *Circuit, newVal []logic.Value) {
 			}
 		}
 	}
+
+	s.work.RelaxSteps += relax
 
 	// Decide new values.
 	for i, u := range vic {
