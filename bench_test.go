@@ -11,6 +11,7 @@ import (
 	"testing"
 
 	"fmossim/internal/bench"
+	"fmossim/internal/campaign"
 	"fmossim/internal/core"
 	"fmossim/internal/logic"
 	"fmossim/internal/march"
@@ -135,6 +136,51 @@ func BenchmarkParallelScaling(b *testing.B) {
 				}
 			})
 		}
+	}
+}
+
+// BenchmarkCampaign_RAM256 pins the sharded campaign path: RAM256
+// (sequence 1 truncated to keep smoke runs fast) with the stuck-at
+// universe, replaying a trajectory recorded once outside the timed loop —
+// so ns/op is pure fault-side replay, with zero good-circuit solver work.
+// allocs/op and B/op are the acceptance metric for the batch memory
+// model: per-fault bookkeeping is the sparse divergence store only, and
+// the dense per-node scratch is pooled per batch worker, so bytes scale
+// with batch width (batches × workers × nodes), not with the size of the
+// fault universe. Compare the one-batch and 64-wide sub-benchmarks: the
+// narrow batches run the same fault count through a fraction of the
+// resident state.
+func BenchmarkCampaign_RAM256(b *testing.B) {
+	m := ram.New(ram.Config{Rows: 16, Cols: 16})
+	faults := bench.NodeStuckOnly(m)
+	seq := march.Sequence1(m)
+	if len(seq.Patterns) > 60 {
+		seq.Patterns = seq.Patterns[:60]
+	}
+	rec := core.Record(m.Net, seq, core.Options{})
+	for _, cfg := range []struct {
+		name      string
+		batchSize int
+	}{
+		{"one-batch", len(faults)},
+		{"batch=64", 64},
+	} {
+		b.Run(cfg.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				res, err := campaign.Run(m.Net, faults, seq, campaign.Options{
+					Sim:       core.Options{Observe: []netlist.NodeID{m.DataOut}, Workers: 1},
+					BatchSize: cfg.batchSize,
+					Shards:    2,
+					Recording: rec,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(100*res.Coverage(), "coverage-%")
+				b.ReportMetric(float64(res.Batches), "batches")
+			}
+		})
 	}
 }
 

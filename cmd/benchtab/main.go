@@ -16,10 +16,15 @@
 //	benchtab -out DIR         # where CSV files go (default .)
 //	benchtab -quick           # smaller instances for fig 3 / scaling
 //	benchtab -json            # also write machine-readable BENCH_results.json
+//	benchtab -compare old.json# fail (exit 1) on >20% work-unit regression
 //
 // The JSON report carries each figure's headline metrics plus wall-clock
 // run times, so the performance trajectory can be tracked across commits
-// by CI without parsing human-oriented output.
+// by CI without parsing human-oriented output. With -compare, the fresh
+// results are checked against a previous BENCH_results.json: any
+// deterministic work-unit metric that grew by more than 20% fails the
+// run with a non-zero exit (wall times are printed for context but never
+// gate, since CI baselines may come from a different physical runner).
 package main
 
 import (
@@ -29,6 +34,7 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
+	"strings"
 	"time"
 
 	"fmossim/internal/bench"
@@ -67,6 +73,7 @@ func main() {
 	out := flag.String("out", ".", "output directory for CSV files")
 	quick := flag.Bool("quick", false, "use smaller circuit instances (fast smoke runs)")
 	jsonOut := flag.Bool("json", false, "also write BENCH_results.json to the output directory")
+	compare := flag.String("compare", "", "previous BENCH_results.json to compare against; exit non-zero on >20% work-unit regression (wall times informational)")
 	flag.Parse()
 
 	if err := os.MkdirAll(*out, 0o755); err != nil {
@@ -150,6 +157,8 @@ func main() {
 			"good_factor":   r.GoodFactor,
 			"conc_factor":   r.ConcFactor,
 			"serial_factor": r.SerialFactor,
+			"good_work":     float64(r.Large.GoodWork),
+			"conc_work":     float64(r.Large.ConcurrentWork),
 		})
 		r.Summarize(os.Stdout)
 		fmt.Println()
@@ -199,6 +208,69 @@ func main() {
 		}
 		fmt.Printf("wrote %s\n", path)
 	}
+
+	if *compare != "" {
+		if !compareReports(rep, *compare, regressionTolerance) {
+			os.Exit(1)
+		}
+	}
+}
+
+// regressionTolerance is the accepted slowdown factor on deterministic
+// work-unit metrics before a figure counts as regressed.
+const regressionTolerance = 1.20
+
+// compareReports checks this run against a previous report, printing a
+// per-figure verdict. The gate runs on the deterministic "*_work" metrics
+// (solver work units are bit-identical for a given engine, so a >20%
+// growth is a real cost regression, never runner noise); wall-clock times
+// are printed for context only, since CI baselines may come from a
+// different physical runner. Figures present in only one report are noted
+// but do not fail.
+func compareReports(rep *report, oldPath string, tolerance float64) bool {
+	buf, err := os.ReadFile(oldPath)
+	if err != nil {
+		fatal(err)
+	}
+	old := &report{}
+	if err := json.Unmarshal(buf, old); err != nil {
+		fatal(fmt.Errorf("parsing %s: %w", oldPath, err))
+	}
+	fmt.Printf("== Comparison against %s (tolerance %.0f%% on work units) ==\n", oldPath, 100*(tolerance-1))
+	ok := true
+	compared := 0
+	for fig, metrics := range rep.Figures {
+		oldMetrics := old.Figures[fig]
+		if newNS, oldNS := rep.WallNS[fig], old.WallNS[fig]; oldNS > 0 {
+			fmt.Printf("  %-10s wall %.3fs vs %.3fs (%.2fx, informational)\n",
+				fig, float64(newNS)/1e9, float64(oldNS)/1e9, float64(newNS)/float64(oldNS))
+		}
+		for key, newVal := range metrics {
+			if !strings.HasSuffix(key, "_work") {
+				continue
+			}
+			oldVal, present := oldMetrics[key]
+			if !present || oldVal <= 0 {
+				fmt.Printf("  %-10s %-22s %.0f (no baseline)\n", fig, key, newVal)
+				continue
+			}
+			compared++
+			ratio := newVal / oldVal
+			verdict := "ok"
+			if ratio > tolerance {
+				verdict = "REGRESSED"
+				ok = false
+			}
+			fmt.Printf("  %-10s %-22s %.0f vs %.0f (%.2fx) %s\n", fig, key, newVal, oldVal, ratio, verdict)
+		}
+	}
+	if compared == 0 {
+		fmt.Println("  no common work metrics to compare")
+	}
+	if !ok {
+		fmt.Printf("FAIL: work-unit regression beyond %.0f%%\n", 100*(tolerance-1))
+	}
+	return ok
 }
 
 func writeCSV(path string, write func(*os.File) error) {

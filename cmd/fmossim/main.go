@@ -14,6 +14,14 @@
 // Fault-list and netlist formats are documented in internal/fault and
 // internal/netlist. With -faults omitted, all storage-node stuck-at
 // faults are simulated.
+//
+// Large fault universes can run as a sharded campaign: -batch N splits
+// the fault list into batches of N faults, -shards N replays that many
+// batches concurrently against a once-recorded good-circuit trajectory,
+// -coverage-target F stops early once the detected fraction reaches F,
+// and -checkpoint FILE makes the campaign resumable (completed batches
+// are reloaded instead of re-simulated). Campaign results are
+// bit-identical to the monolithic run.
 package main
 
 import (
@@ -23,6 +31,7 @@ import (
 	"os"
 	"strings"
 
+	"fmossim/internal/campaign"
 	"fmossim/internal/core"
 	"fmossim/internal/fault"
 	"fmossim/internal/logic"
@@ -37,6 +46,10 @@ func main() {
 	observe := flag.String("observe", "", "comma-separated observed output nodes (required)")
 	verbose := flag.Bool("v", false, "print every detection")
 	noDrop := flag.Bool("nodrop", false, "keep simulating detected faults")
+	batch := flag.Int("batch", 0, "campaign mode: faults per batch (0 with -shards: split evenly)")
+	shards := flag.Int("shards", 0, "campaign mode: concurrent batches (0: GOMAXPROCS)")
+	coverageTarget := flag.Float64("coverage-target", 0, "campaign mode: stop once this coverage fraction is reached")
+	checkpoint := flag.String("checkpoint", "", "campaign mode: resumable checkpoint file")
 	flag.Parse()
 
 	if *netPath == "" || *patPath == "" || *observe == "" {
@@ -75,16 +88,36 @@ func main() {
 	if *noDrop {
 		opts.Drop = core.NeverDrop
 	}
-	sim, err := core.New(nw, faults, opts)
-	if err != nil {
-		fatal(err)
-	}
-	res := sim.Run(seq)
 
-	res.Summary(os.Stdout)
+	detected := func(int) (core.Detection, bool) { return core.Detection{}, false }
+	if *batch > 0 || *shards > 0 || *coverageTarget > 0 || *checkpoint != "" {
+		res, err := campaign.Run(nw, faults, seq, campaign.Options{
+			Sim:            opts,
+			BatchSize:      *batch,
+			Shards:         *shards,
+			CoverageTarget: *coverageTarget,
+			CheckpointPath: *checkpoint,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		res.Run.Summary(os.Stdout)
+		fmt.Printf("  campaign: %d batches (%d run, %d resumed, %d skipped)\n",
+			res.Batches, res.BatchesRun, res.BatchesResumed, res.BatchesSkipped)
+		detected = res.Detected
+	} else {
+		sim, err := core.New(nw, faults, opts)
+		if err != nil {
+			fatal(err)
+		}
+		res := sim.Run(seq)
+		res.Summary(os.Stdout)
+		detected = sim.Detected
+	}
+
 	if *verbose {
 		for i := range faults {
-			if d, ok := sim.Detected(i); ok {
+			if d, ok := detected(i); ok {
 				fmt.Printf("  detected %-40s pattern %4d setting %d: %s vs good %s at %s\n",
 					faults[i].Describe(nw), d.Pattern, d.Setting, d.Faulty, d.Good, nw.Name(d.Output))
 			} else {

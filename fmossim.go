@@ -34,13 +34,23 @@
 //	res := fsim.Run(seq)
 //	fmt.Printf("coverage %.1f%%\n", 100*res.Coverage())
 //
-// See the examples directory for complete programs, DESIGN.md for the
-// architecture, and EXPERIMENTS.md for the paper-reproduction results.
+// For large fault universes, the campaign engine decouples the two sides:
+// RecordTrajectory captures the good circuit's run once as a serializable
+// Recording, and Campaign shards the fault list into batches that replay
+// it concurrently with pooled per-batch memory — bit-identical to the
+// monolithic simulator, with optional coverage-target early stop and
+// resumable checkpoints (see examples/campaign).
+//
+// See the examples directory (quickstart, ramtest, sampling, shorts,
+// stuckopen, campaign) for complete programs, DESIGN.md for the
+// architecture and execution engine, and bench_test.go plus cmd/benchtab
+// for the paper-reproduction experiments and their results.
 package fmossim
 
 import (
 	"io"
 
+	"fmossim/internal/campaign"
 	"fmossim/internal/core"
 	"fmossim/internal/fault"
 	"fmossim/internal/logic"
@@ -170,6 +180,43 @@ const (
 // the first pattern.
 func NewFaultSimulator(nw *Network, faults []Fault, opts FaultSimOptions) (*FaultSimulator, error) {
 	return core.New(nw, faults, opts)
+}
+
+// Batched fault campaigns (trajectory-decoupled execution).
+type (
+	// Recording is the good circuit's captured trajectory: record once
+	// with RecordTrajectory (or serialize with Encode/DecodeRecording),
+	// replay with any number of fault batches.
+	Recording = switchsim.Recording
+	// CampaignOptions configures a sharded campaign; CampaignResult is
+	// its merged outcome.
+	CampaignOptions = campaign.Options
+	CampaignResult  = campaign.Result
+	// CampaignCheckpoint is the resumable state of a partially completed
+	// campaign.
+	CampaignCheckpoint = campaign.Checkpoint
+)
+
+// RecordTrajectory simulates only the good circuit through seq and
+// captures its trajectory — per-setting changed sets, input deltas, the
+// initialization settle, and the adoption trajectories — as a reusable
+// Recording. Campaigns replaying it never re-run the good-circuit solver.
+func RecordTrajectory(nw *Network, seq *Sequence, opts FaultSimOptions) *Recording {
+	return core.Record(nw, seq, opts)
+}
+
+// DecodeRecording reads a Recording previously serialized with Encode.
+func DecodeRecording(r io.Reader) (*Recording, error) {
+	return switchsim.DecodeRecording(r)
+}
+
+// Campaign runs a sharded fault campaign: the good trajectory is recorded
+// (or taken from opts.Recording), the fault universe is partitioned into
+// batches, and the batches replay concurrently with per-batch pooled
+// memory. Results are bit-identical to a monolithic FaultSimulator run
+// for every batch size, shard count, and worker count.
+func Campaign(nw *Network, faults []Fault, seq *Sequence, opts CampaignOptions) (*CampaignResult, error) {
+	return campaign.Run(nw, faults, seq, opts)
 }
 
 // Serial reference simulation.

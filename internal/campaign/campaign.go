@@ -1,0 +1,389 @@
+// Package campaign is the sharded fault-campaign engine: it records the
+// good circuit's trajectory once, partitions the fault universe into
+// batches, replays each batch independently against the recording, and
+// merges the outcomes deterministically.
+//
+// This is the trajectory-decoupled execution model the FMOSSIM cost
+// analysis points at: the good circuit is simulated exactly once per
+// sequence (core.Record), and every fault batch pays only fault-side,
+// activity-proportional work. Because a batch's memory footprint scales
+// with its width (workers × nodes + live divergence) rather than with the
+// whole universe, a campaign can stream an arbitrarily large fault list
+// through bounded memory, run batches concurrently, stop early at a
+// coverage target, and resume from a checkpoint of completed batches.
+//
+// Determinism contract: each fault's simulation depends only on the
+// recorded trajectory and its own state, never on which batch hosts it or
+// which worker executes it. Batches are merged at input-setting
+// granularity in ascending fault order, so a campaign's detections,
+// final divergence records, and deterministic statistics (work units,
+// active-circuit counts, live counts) are bit-identical to a monolithic
+// core.Simulator run over the same fault list, for every batch size,
+// shard count, and worker count. Wall-clock fields are the only
+// exception. Early stop (CoverageTarget) intentionally breaks the
+// equivalence: skipped batches are reported, not simulated.
+package campaign
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"fmossim/internal/core"
+	"fmossim/internal/fault"
+	"fmossim/internal/logic"
+	"fmossim/internal/netlist"
+	"fmossim/internal/switchsim"
+)
+
+// Options configures a fault campaign.
+type Options struct {
+	// Sim carries the per-batch simulator options (Observe is required;
+	// Drop, ablations, MaxRounds as in core.Options). Sim.Workers is the
+	// per-batch worker pool; when 0 it defaults to 1 if the campaign runs
+	// more than one shard (so shards × workers does not oversubscribe)
+	// and to GOMAXPROCS otherwise.
+	Sim core.Options
+
+	// BatchSize is the number of faults per batch. 0 derives it from
+	// Shards: the universe is split evenly, one batch per shard.
+	BatchSize int
+
+	// Shards is the number of batches executed concurrently. 0 selects
+	// runtime.GOMAXPROCS(0), capped by the batch count.
+	Shards int
+
+	// CoverageTarget, in (0,1], stops the campaign early: once the
+	// detected fraction of the whole universe reaches the target, no new
+	// batches are started (in-flight batches finish). Unstarted batches
+	// are reported as skipped.
+	CoverageTarget float64
+
+	// Recording, when non-nil, is a pre-captured good trajectory (see
+	// core.Record / Recording.Encode): the campaign skips good-circuit
+	// simulation entirely. When nil, the trajectory is recorded first.
+	Recording *switchsim.Recording
+
+	// CheckpointPath, when non-empty, makes the campaign resumable: the
+	// checkpoint file is loaded if present (completed batches are not
+	// re-simulated) and rewritten after every batch completion.
+	CheckpointPath string
+}
+
+// FaultOutcome is the merged result for one fault of the universe.
+type FaultOutcome struct {
+	// Detected reports the fault was detected; Detection locates the
+	// first detection (zero when !Detected).
+	Detected  bool           `json:"detected"`
+	Detection core.Detection `json:"detection"`
+	// Oscillated reports the faulty circuit ever hit the round limit.
+	Oscillated bool `json:"oscillated"`
+	// Records is the fault's final divergence from the good circuit
+	// (nil when none, or when the fault's batch was skipped).
+	Records map[netlist.NodeID]logic.Value `json:"records,omitempty"`
+	// Skipped reports the fault's batch was never simulated (early stop).
+	Skipped bool `json:"skipped,omitempty"`
+}
+
+// Result is a campaign's merged outcome.
+type Result struct {
+	// Run is the merged aggregate in core.Result form. Its deterministic
+	// fields (work units, detection counts, per-pattern active/live
+	// statistics) are bit-identical to a monolithic run when no batch was
+	// skipped; NS fields combine the recording's good-circuit times with
+	// summed per-batch fault times.
+	Run core.Result
+	// PerFault holds one outcome per fault, in universe order.
+	PerFault []FaultOutcome
+	// Recording is the good trajectory the campaign replayed (the one
+	// passed in Options, or the one recorded on entry): reusable for
+	// further campaigns over the same sequence.
+	Recording *switchsim.Recording
+
+	// Batches is the total batch count; BatchesRun were simulated this
+	// call, BatchesResumed restored from the checkpoint, BatchesSkipped
+	// never started (early stop).
+	Batches        int
+	BatchesRun     int
+	BatchesResumed int
+	BatchesSkipped int
+}
+
+// Detected reports whether fault fi was detected, with details.
+func (r *Result) Detected(fi int) (core.Detection, bool) {
+	o := &r.PerFault[fi]
+	return o.Detection, o.Detected
+}
+
+// Coverage returns the detected fraction of the fault universe.
+func (r *Result) Coverage() float64 { return r.Run.Coverage() }
+
+// Run executes a fault campaign over nw: record (or reuse) the good
+// trajectory, shard faults into batches, replay the batches across the
+// shard pool, and merge.
+func Run(nw *netlist.Network, faults []fault.Fault, seq *switchsim.Sequence, opts Options) (*Result, error) {
+	rec := opts.Recording
+	if rec == nil {
+		rec = core.Record(nw, seq, opts.Sim)
+	}
+	if err := rec.Validate(nw, seq.NumSettings()); err != nil {
+		return nil, err
+	}
+
+	nf := len(faults)
+	shards := opts.Shards
+	if shards <= 0 {
+		shards = runtime.GOMAXPROCS(0)
+	}
+	batchSize := opts.BatchSize
+	if batchSize <= 0 {
+		batchSize = (nf + shards - 1) / shards
+		if batchSize == 0 {
+			batchSize = 1
+		}
+	}
+	nBatches := (nf + batchSize - 1) / batchSize
+	if shards > nBatches && nBatches > 0 {
+		shards = nBatches
+	}
+	simOpts := opts.Sim
+	if simOpts.Workers <= 0 && shards > 1 {
+		simOpts.Workers = 1
+	}
+
+	// Resume: completed batches come from the checkpoint, not from
+	// simulation.
+	results := make([]*core.BatchResult, nBatches)
+	ck := &Checkpoint{
+		Sequence:       seq.Name,
+		NumSettings:    seq.NumSettings(),
+		NumFaults:      nf,
+		NumNodes:       nw.NumNodes(),
+		NumTransistors: nw.NumTransistors(),
+		BatchSize:      batchSize,
+		NumBatches:     nBatches,
+		FaultsHash:     hashFaults(faults),
+		SimHash:        hashSimOptions(simOpts),
+		Done:           map[int]*core.BatchResult{},
+	}
+	resumed := 0
+	if opts.CheckpointPath != "" {
+		prev, err := loadCheckpointFile(opts.CheckpointPath)
+		if err != nil {
+			return nil, err
+		}
+		if prev != nil {
+			if err := prev.matches(ck); err != nil {
+				return nil, fmt.Errorf("campaign: checkpoint %s: %w", opts.CheckpointPath, err)
+			}
+			for i, br := range prev.Done {
+				if i >= 0 && i < nBatches && br != nil {
+					results[i] = br
+					ck.Done[i] = br
+					resumed++
+				}
+			}
+		}
+	}
+
+	var (
+		detected atomic.Int64
+		stop     atomic.Bool
+		cursor   atomic.Int64
+		ran      atomic.Int64
+		ckMu     sync.Mutex
+		errMu    sync.Mutex
+		firstErr error
+	)
+	var target int64
+	if opts.CoverageTarget > 0 && nf > 0 {
+		target = int64(math.Ceil(opts.CoverageTarget * float64(nf)))
+	}
+	countDetected := func(br *core.BatchResult) int64 {
+		var n int64
+		for _, d := range br.Detected {
+			if d {
+				n++
+			}
+		}
+		return n
+	}
+	for _, br := range results {
+		if br != nil {
+			detected.Add(countDetected(br))
+		}
+	}
+	if target > 0 && detected.Load() >= target {
+		stop.Store(true)
+	}
+
+	tab := switchsim.NewTables(nw)
+	var wg sync.WaitGroup
+	for s := 0; s < shards; s++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				if stop.Load() {
+					return
+				}
+				i := int(cursor.Add(1)) - 1
+				if i >= nBatches {
+					return
+				}
+				if results[i] != nil {
+					continue // resumed from checkpoint
+				}
+				lo := i * batchSize
+				hi := min(lo+batchSize, nf)
+				br, err := core.RunBatch(tab, faults[lo:hi], rec, seq, simOpts)
+				if err != nil {
+					errMu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					errMu.Unlock()
+					stop.Store(true)
+					return
+				}
+				results[i] = br
+				ran.Add(1)
+				if target > 0 && detected.Add(countDetected(br)) >= target {
+					stop.Store(true)
+				}
+				if opts.CheckpointPath != "" {
+					ckMu.Lock()
+					ck.Done[i] = br
+					err := ck.saveFile(opts.CheckpointPath)
+					ckMu.Unlock()
+					if err != nil {
+						errMu.Lock()
+						if firstErr == nil {
+							firstErr = err
+						}
+						errMu.Unlock()
+						stop.Store(true)
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+
+	res := merge(rec, seq, nf, batchSize, results)
+	res.Batches = nBatches
+	res.BatchesRun = int(ran.Load())
+	res.BatchesResumed = resumed
+	res.BatchesSkipped = nBatches - res.BatchesRun - resumed
+	return res, nil
+}
+
+// merge combines per-batch results into a monolithic-equivalent
+// core.Result plus per-fault outcomes. Batches are merged at setting
+// granularity: per-setting active-circuit and live counts sum across
+// batches (each fault lives in exactly one), so pattern aggregates like
+// MaxActive match a monolithic run exactly. Good-circuit work and time
+// come from the recording, counted once.
+func merge(rec *switchsim.Recording, seq *switchsim.Sequence, nf, batchSize int, results []*core.BatchResult) *Result {
+	nSettings := seq.NumSettings()
+	res := &Result{Recording: rec}
+	res.Run = core.Result{Sequence: seq.Name, NumFaults: nf}
+	res.PerFault = make([]FaultOutcome, nf)
+
+	// Per-setting fault-side sums across batches. Skipped batches
+	// contribute their width to the live counts (their circuits were
+	// never simulated, hence never dropped).
+	active := make([]int, nSettings)
+	faultWork := make([]int64, nSettings)
+	faultNS := make([]int64, nSettings)
+	for bi, br := range results {
+		lo := bi * batchSize
+		width := min(batchSize, nf-lo)
+		if br == nil {
+			for fi := lo; fi < lo+width; fi++ {
+				res.PerFault[fi].Skipped = true
+			}
+			continue
+		}
+		for si := range br.PerSetting {
+			if si >= nSettings {
+				break
+			}
+			active[si] += br.PerSetting[si].ActiveCircuits
+			faultWork[si] += br.PerSetting[si].FaultWork
+			faultNS[si] += br.PerSetting[si].FaultNS
+		}
+		for j := 0; j < width && j < len(br.Detected); j++ {
+			o := &res.PerFault[lo+j]
+			o.Detected = br.Detected[j]
+			o.Detection = br.Detections[j]
+			o.Oscillated = br.Oscillated[j]
+			if j < len(br.Records) {
+				o.Records = br.Records[j]
+			}
+		}
+	}
+
+	// Assemble per-pattern statistics from the sequence structure, the
+	// recording's good-side figures, and the per-setting/-pattern sums.
+	si := 0
+	step := 1 // rec.Steps[0] is the initialization
+	for pi := range seq.Patterns {
+		p := &seq.Patterns[pi]
+		ps := core.PatternStats{Pattern: pi, Name: p.Name, Settings: len(p.Settings)}
+		for range p.Settings {
+			if step < len(rec.Steps) {
+				ps.GoodWork += rec.Steps[step].GoodWork
+				ps.GoodNS += rec.Steps[step].GoodNS
+			}
+			if si < nSettings {
+				ps.FaultWork += faultWork[si]
+				ps.FaultNS += faultNS[si]
+				if active[si] > ps.MaxActive {
+					ps.MaxActive = active[si]
+				}
+			}
+			si++
+			step++
+		}
+		for bi, br := range results {
+			lo := bi * batchSize
+			width := min(batchSize, nf-lo)
+			if br == nil {
+				ps.LiveBefore += width
+				ps.LiveAfter += width
+				continue
+			}
+			if pi < len(br.PerPattern) {
+				ps.LiveBefore += br.PerPattern[pi].LiveBefore
+				ps.LiveAfter += br.PerPattern[pi].LiveAfter
+				ps.Detected += br.PerPattern[pi].Detected
+			}
+		}
+		res.Run.PerPattern = append(res.Run.PerPattern, ps)
+		res.Run.GoodWork += ps.GoodWork
+		res.Run.FaultWork += ps.FaultWork
+		res.Run.GoodNS += ps.GoodNS
+		res.Run.FaultNS += ps.FaultNS
+	}
+
+	for fi := range res.PerFault {
+		o := &res.PerFault[fi]
+		if o.Detected {
+			res.Run.Detected++
+			if o.Detection.Hard {
+				res.Run.HardDetected++
+			}
+		}
+		if o.Oscillated {
+			res.Run.Oscillated++
+		}
+	}
+	return res
+}

@@ -1,0 +1,282 @@
+package campaign_test
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"fmossim/internal/campaign"
+	"fmossim/internal/core"
+	"fmossim/internal/fault"
+	"fmossim/internal/march"
+	"fmossim/internal/netlist"
+	"fmossim/internal/ram"
+	"fmossim/internal/switchsim"
+)
+
+// testBench builds the shared workload: a 4×4 RAM, a mixed-kind fault
+// universe (node stuck-at, transistor stuck, bit-line shorts), and test
+// sequence 1.
+func testBench(t *testing.T) (*ram.RAM, []fault.Fault, *switchsim.Sequence) {
+	t.Helper()
+	m := ram.New(ram.Config{Rows: 4, Cols: 4})
+	faults := fault.NodeStuckFaults(m.Net, fault.Options{})
+	ts := fault.TransistorStuckFaults(m.Net, fault.Options{})
+	if len(ts) > 30 {
+		ts = ts[:30]
+	}
+	faults = append(faults, ts...)
+	faults = append(faults, fault.BridgeFaults(m.BitlineShorts)...)
+	seq := march.Sequence1(m)
+	return m, faults, seq
+}
+
+// ceilDiv splits n into k near-equal parts.
+func ceilDiv(n, k int) int { return (n + k - 1) / k }
+
+// assertMatchesMonolithic compares a campaign result against the
+// monolithic simulator: detections, final records, and every
+// deterministic statistic must be bit-identical.
+func assertMatchesMonolithic(t *testing.T, tag string, nw *netlist.Network, faults []fault.Fault, mono *core.Simulator, monoRes *core.Result, res *campaign.Result) {
+	t.Helper()
+	if res.BatchesSkipped != 0 {
+		t.Fatalf("%s: %d batches skipped in a full campaign", tag, res.BatchesSkipped)
+	}
+	for fi := range faults {
+		md, mok := mono.Detected(fi)
+		cd, cok := res.Detected(fi)
+		if mok != cok || (mok && md != cd) {
+			t.Fatalf("%s: fault %s detection mismatch: mono=%+v(%v) campaign=%+v(%v)",
+				tag, faults[fi].Describe(nw), md, mok, cd, cok)
+		}
+		if mono.Oscillated(fi) != res.PerFault[fi].Oscillated {
+			t.Fatalf("%s: fault %s oscillation mismatch", tag, faults[fi].Describe(nw))
+		}
+		mrec := mono.Records(fi)
+		crec := res.PerFault[fi].Records
+		if len(mrec) != len(crec) {
+			t.Fatalf("%s: fault %s has %d records mono vs %d campaign",
+				tag, faults[fi].Describe(nw), len(mrec), len(crec))
+		}
+		for n, v := range mrec {
+			if crec[n] != v {
+				t.Fatalf("%s: fault %s node %s: mono=%s campaign=%s",
+					tag, faults[fi].Describe(nw), nw.Name(n), v, crec[n])
+			}
+		}
+	}
+
+	// Aggregate statistics: everything except wall-clock must match.
+	if res.Run.Detected != monoRes.Detected || res.Run.HardDetected != monoRes.HardDetected ||
+		res.Run.Oscillated != monoRes.Oscillated || res.Run.NumFaults != monoRes.NumFaults {
+		t.Fatalf("%s: totals mismatch: campaign %d/%d/%d mono %d/%d/%d", tag,
+			res.Run.Detected, res.Run.HardDetected, res.Run.Oscillated,
+			monoRes.Detected, monoRes.HardDetected, monoRes.Oscillated)
+	}
+	if res.Run.GoodWork != monoRes.GoodWork || res.Run.FaultWork != monoRes.FaultWork {
+		t.Fatalf("%s: work mismatch: campaign %d+%d mono %d+%d", tag,
+			res.Run.GoodWork, res.Run.FaultWork, monoRes.GoodWork, monoRes.FaultWork)
+	}
+	if len(res.Run.PerPattern) != len(monoRes.PerPattern) {
+		t.Fatalf("%s: %d patterns vs %d", tag, len(res.Run.PerPattern), len(monoRes.PerPattern))
+	}
+	for pi := range monoRes.PerPattern {
+		mp, cp := monoRes.PerPattern[pi], res.Run.PerPattern[pi]
+		mp.GoodNS, mp.FaultNS = 0, 0
+		cp.GoodNS, cp.FaultNS = 0, 0
+		if mp != cp {
+			t.Fatalf("%s: pattern %d stats mismatch:\nmono     %+v\ncampaign %+v", tag, pi, mp, cp)
+		}
+	}
+}
+
+// TestCampaignMatchesMonolithic is the batch-equivalence suite of the
+// campaign engine: splitting the universe into 1, 3, and 7 batches, at
+// several per-batch worker counts and shard counts, must reproduce the
+// monolithic simulator's detections, records, and statistics bit for bit.
+func TestCampaignMatchesMonolithic(t *testing.T) {
+	m, faults, seq := testBench(t)
+	obs := []netlist.NodeID{m.DataOut}
+
+	mono, err := core.New(m.Net, faults, core.Options{Observe: obs, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	monoRes := mono.Run(seq)
+	if monoRes.Detected == 0 {
+		t.Fatal("workload detects nothing; test is vacuous")
+	}
+
+	// Record once, replay in every configuration: also proves the replay
+	// path never needs the good solver again.
+	rec := core.Record(m.Net, seq, core.Options{})
+
+	for _, nBatches := range []int{1, 3, 7} {
+		for _, workers := range []int{1, 3} {
+			tag := "batches=" + string(rune('0'+nBatches)) + "/workers=" + string(rune('0'+workers))
+			res, err := campaign.Run(m.Net, faults, seq, campaign.Options{
+				Sim:       core.Options{Observe: obs, Workers: workers},
+				BatchSize: ceilDiv(len(faults), nBatches),
+				Shards:    2,
+				Recording: rec,
+			})
+			if err != nil {
+				t.Fatalf("%s: %v", tag, err)
+			}
+			if res.Batches != nBatches {
+				t.Fatalf("%s: ran %d batches", tag, res.Batches)
+			}
+			assertMatchesMonolithic(t, tag, m.Net, faults, mono, monoRes, res)
+		}
+	}
+}
+
+// TestCampaignSerializedRecording: a recording that has been round-tripped
+// through its binary encoding drives a campaign to the identical result.
+func TestCampaignSerializedRecording(t *testing.T) {
+	m, faults, seq := testBench(t)
+	obs := []netlist.NodeID{m.DataOut}
+
+	mono, err := core.New(m.Net, faults, core.Options{Observe: obs, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	monoRes := mono.Run(seq)
+
+	var buf bytes.Buffer
+	if err := core.Record(m.Net, seq, core.Options{}).Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	rec, err := switchsim.DecodeRecording(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := campaign.Run(m.Net, faults, seq, campaign.Options{
+		Sim:       core.Options{Observe: obs},
+		BatchSize: ceilDiv(len(faults), 4),
+		Shards:    2,
+		Recording: rec,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertMatchesMonolithic(t, "serialized", m.Net, faults, mono, monoRes, res)
+}
+
+// TestCampaignCheckpointResume: a campaign with a checkpoint file resumes
+// completed batches instead of re-simulating them, and the resumed merge
+// equals the uninterrupted one.
+func TestCampaignCheckpointResume(t *testing.T) {
+	m, faults, seq := testBench(t)
+	obs := []netlist.NodeID{m.DataOut}
+	ckPath := filepath.Join(t.TempDir(), "campaign.ck")
+
+	opts := campaign.Options{
+		Sim:            core.Options{Observe: obs, Workers: 1},
+		BatchSize:      ceilDiv(len(faults), 5),
+		Shards:         2,
+		CheckpointPath: ckPath,
+	}
+	first, err := campaign.Run(m.Net, faults, seq, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.BatchesRun != first.Batches || first.BatchesResumed != 0 {
+		t.Fatalf("first run: run=%d resumed=%d of %d", first.BatchesRun, first.BatchesResumed, first.Batches)
+	}
+	if _, err := os.Stat(ckPath); err != nil {
+		t.Fatalf("checkpoint file not written: %v", err)
+	}
+
+	second, err := campaign.Run(m.Net, faults, seq, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second.BatchesResumed != second.Batches || second.BatchesRun != 0 {
+		t.Fatalf("second run: run=%d resumed=%d of %d", second.BatchesRun, second.BatchesResumed, second.Batches)
+	}
+	if second.Run.Detected != first.Run.Detected || second.Run.FaultWork != first.Run.FaultWork {
+		t.Fatalf("resumed result differs: %d/%d vs %d/%d",
+			second.Run.Detected, second.Run.FaultWork, first.Run.Detected, first.Run.FaultWork)
+	}
+	for fi := range faults {
+		fd, fok := first.Detected(fi)
+		sd, sok := second.Detected(fi)
+		if fok != sok || fd != sd {
+			t.Fatalf("fault %d detection differs after resume", fi)
+		}
+	}
+
+	// A mismatched campaign must refuse the checkpoint: different
+	// batching, a different same-sized fault universe, or different
+	// result-shaping simulator options would silently attribute stale
+	// batch results.
+	bad := opts
+	bad.BatchSize = ceilDiv(len(faults), 3)
+	if _, err := campaign.Run(m.Net, faults, seq, bad); err == nil {
+		t.Fatal("mismatched batching accepted")
+	}
+	swapped := append([]fault.Fault(nil), faults...)
+	swapped[0], swapped[1] = swapped[1], swapped[0]
+	if _, err := campaign.Run(m.Net, swapped, seq, opts); err == nil {
+		t.Fatal("same-sized but different fault universe accepted")
+	}
+	badDrop := opts
+	badDrop.Sim.Drop = core.NeverDrop
+	if _, err := campaign.Run(m.Net, faults, seq, badDrop); err == nil {
+		t.Fatal("different drop policy accepted")
+	}
+}
+
+// TestCampaignEarlyStop: with a low coverage target and serial shards,
+// the campaign stops claiming batches once the target is met.
+func TestCampaignEarlyStop(t *testing.T) {
+	m, faults, seq := testBench(t)
+	obs := []netlist.NodeID{m.DataOut}
+
+	res, err := campaign.Run(m.Net, faults, seq, campaign.Options{
+		Sim:            core.Options{Observe: obs, Workers: 1},
+		BatchSize:      ceilDiv(len(faults), 8),
+		Shards:         1,
+		CoverageTarget: 0.05,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BatchesSkipped == 0 {
+		t.Fatalf("5%% target on a high-coverage workload should skip batches (run=%d of %d, coverage %.2f)",
+			res.BatchesRun, res.Batches, res.Coverage())
+	}
+	if res.Coverage() < 0.05 {
+		t.Fatalf("stopped below target: %.3f", res.Coverage())
+	}
+	skipped := 0
+	for _, o := range res.PerFault {
+		if o.Skipped {
+			skipped++
+		}
+	}
+	if skipped == 0 {
+		t.Fatal("no per-fault skip markers")
+	}
+}
+
+// TestCampaignValidation: mismatched recordings and missing outputs fail
+// cleanly.
+func TestCampaignValidation(t *testing.T) {
+	m, faults, seq := testBench(t)
+	obs := []netlist.NodeID{m.DataOut}
+
+	if _, err := campaign.Run(m.Net, faults, seq, campaign.Options{}); err == nil {
+		t.Error("campaign without observed outputs should fail")
+	}
+
+	other := ram.New(ram.Config{Rows: 2, Cols: 2})
+	rec := core.Record(other.Net, march.Sequence1(other), core.Options{})
+	if _, err := campaign.Run(m.Net, faults, seq, campaign.Options{
+		Sim: core.Options{Observe: obs}, Recording: rec,
+	}); err == nil {
+		t.Error("foreign recording should fail validation")
+	}
+}

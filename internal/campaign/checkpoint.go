@@ -1,0 +1,151 @@
+// Campaign checkpoints: a JSON snapshot of completed batches, written
+// after every batch completion and reloaded on the next Run with the same
+// CheckpointPath, so long campaigns survive interruption without
+// re-simulating finished shards. The batch results themselves are
+// deterministic, so a resumed campaign merges to the same outcome as an
+// uninterrupted one.
+package campaign
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"os"
+	"path/filepath"
+
+	"fmossim/internal/core"
+	"fmossim/internal/fault"
+)
+
+// Checkpoint is the serializable resume state of a campaign: the campaign
+// fingerprint (to refuse resuming a different campaign) plus the
+// completed batches' results, keyed by batch index.
+type Checkpoint struct {
+	Sequence       string `json:"sequence"`
+	NumSettings    int    `json:"num_settings"`
+	NumFaults      int    `json:"num_faults"`
+	NumNodes       int    `json:"num_nodes"`
+	NumTransistors int    `json:"num_transistors"`
+	BatchSize      int    `json:"batch_size"`
+	NumBatches     int    `json:"num_batches"`
+	// FaultsHash digests the fault list's content (kind/node/transistor
+	// per fault, in order) and SimHash the result-shaping simulator
+	// options (observed outputs, drop policy, ablations, round limit):
+	// resuming with a same-sized but different universe, or with
+	// different options, would silently attribute stale batch results,
+	// so both are part of the fingerprint.
+	FaultsHash uint64 `json:"faults_hash"`
+	SimHash    uint64 `json:"sim_hash"`
+
+	Done map[int]*core.BatchResult `json:"done"`
+}
+
+// hashFaults digests the fault list content.
+func hashFaults(faults []fault.Fault) uint64 {
+	h := fnv.New64a()
+	var buf [13]byte
+	for _, f := range faults {
+		buf[0] = byte(f.Kind)
+		binary.LittleEndian.PutUint32(buf[1:5], uint32(f.Node))
+		binary.LittleEndian.PutUint32(buf[5:9], uint32(f.Trans))
+		h.Write(buf[:9])
+	}
+	return h.Sum64()
+}
+
+// hashSimOptions digests the result-shaping simulator options. Workers is
+// deliberately excluded: results are bit-identical for every worker
+// count, so it is a legitimate thing to change between resume runs.
+func hashSimOptions(opts core.Options) uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	for _, o := range opts.Observe {
+		binary.LittleEndian.PutUint32(buf[:4], uint32(o))
+		h.Write(buf[:4])
+	}
+	buf[0] = byte(opts.Drop)
+	buf[1] = b2u(opts.StaticLocality)
+	buf[2] = b2u(opts.FullReplay)
+	binary.LittleEndian.PutUint32(buf[4:8], uint32(opts.MaxRounds))
+	h.Write(buf[:8])
+	return h.Sum64()
+}
+
+func b2u(b bool) byte {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// matches verifies the checkpoint belongs to the same campaign.
+func (c *Checkpoint) matches(want *Checkpoint) error {
+	switch {
+	case c.Sequence != want.Sequence || c.NumSettings != want.NumSettings:
+		return fmt.Errorf("sequence %q (%d settings), campaign runs %q (%d)",
+			c.Sequence, c.NumSettings, want.Sequence, want.NumSettings)
+	case c.NumFaults != want.NumFaults || c.FaultsHash != want.FaultsHash:
+		return fmt.Errorf("fault universe differs (%d faults, hash %x; campaign has %d, %x)",
+			c.NumFaults, c.FaultsHash, want.NumFaults, want.FaultsHash)
+	case c.NumNodes != want.NumNodes || c.NumTransistors != want.NumTransistors:
+		return fmt.Errorf("network fingerprint %d/%d, campaign network is %d/%d",
+			c.NumNodes, c.NumTransistors, want.NumNodes, want.NumTransistors)
+	case c.SimHash != want.SimHash:
+		return fmt.Errorf("simulator options differ (observe/drop/ablations/rounds)")
+	case c.BatchSize != want.BatchSize || c.NumBatches != want.NumBatches:
+		return fmt.Errorf("batching %d×%d, campaign uses %d×%d",
+			c.NumBatches, c.BatchSize, want.NumBatches, want.BatchSize)
+	}
+	return nil
+}
+
+// Save writes the checkpoint as JSON.
+func (c *Checkpoint) Save(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	return enc.Encode(c)
+}
+
+// LoadCheckpoint reads a checkpoint previously written by Save.
+func LoadCheckpoint(r io.Reader) (*Checkpoint, error) {
+	c := &Checkpoint{}
+	if err := json.NewDecoder(r).Decode(c); err != nil {
+		return nil, fmt.Errorf("campaign: decoding checkpoint: %w", err)
+	}
+	return c, nil
+}
+
+// saveFile atomically replaces the checkpoint file: write to a temp file
+// in the same directory, then rename, so an interrupted write never
+// corrupts the resume state.
+func (c *Checkpoint) saveFile(path string) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".campaign-ck-*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name())
+	if err := c.Save(tmp); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}
+
+// loadCheckpointFile loads path, returning (nil, nil) when the file does
+// not exist yet.
+func loadCheckpointFile(path string) (*Checkpoint, error) {
+	f, err := os.Open(path)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return LoadCheckpoint(f)
+}

@@ -1,0 +1,592 @@
+// FaultBatch: the faulty-circuit consumer half of the simulator.
+//
+// A batch owns an arbitrary slice of the fault universe and executes it
+// against a stream of good-circuit step traces. It never runs the good
+// solver itself: everything it needs per step — input deltas, the changed
+// and explored sets, the settle trajectory — arrives in the trace, either
+// borrowed live from a goodRunner (the monolithic Simulator) or replayed
+// from a captured switchsim.Recording (the campaign engine). Per-fault
+// memory is the sparse divergence store only; the dense per-node scratch
+// the diff pass needs is pooled per worker, so a batch's footprint scales
+// with its width (workers × nodes + records), never with the size of the
+// whole fault universe.
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"slices"
+	"sort"
+	"time"
+
+	"fmossim/internal/fault"
+	"fmossim/internal/logic"
+	"fmossim/internal/netlist"
+	"fmossim/internal/switchsim"
+)
+
+// FaultBatch executes one slice of the fault universe against good-circuit
+// step traces. Construct with NewFaultBatch (replay mode: the batch owns a
+// good-state mirror maintained from trace deltas) or internally via
+// newBatch sharing a live producer's circuit.
+type FaultBatch struct {
+	tab  *switchsim.Tables
+	nw   *netlist.Network
+	opts Options
+
+	// good is the post-step good-circuit state the diff pass compares
+	// against: the producer's circuit in live mode (shared, already
+	// settled when Step runs), or an owned mirror advanced from trace
+	// deltas in replay mode.
+	good     *switchsim.Circuit
+	ownsGood bool
+	// prev holds the good circuit's pre-step state: faulty circuits are
+	// materialized from it so their settling starts from their own
+	// previous steady state. It is advanced by delta application at the
+	// end of each step, never by full copies.
+	prev *switchsim.Circuit
+
+	// workers execute activated faulty circuits; each owns a scratch
+	// circuit (a live mirror of prev, patched and reverted per circuit by
+	// an undo log) and a private solver. workers[0] doubles as the inline
+	// path when parallel dispatch isn't worthwhile.
+	workers []*faultWorker
+
+	faults []*faultState
+	live   int // undropped circuits, maintained on drop (O(1) queries)
+
+	// nodeCircs[n] lists the circuits with a divergence record at n,
+	// sorted ascending: the paper's per-node state lists (the good
+	// circuit's entry is implicit: it is the good state itself).
+	nodeCircs [][]CircuitID
+	// interest[n] refcounts the circuits whose re-simulation triggers
+	// include node n.
+	interest []interestList
+
+	// Scratch for per-setting scheduling.
+	touchStamp []uint32
+	touchEpoch uint32
+	touched    []netlist.NodeID
+	inputStamp []uint32
+	inputEpoch uint32
+
+	// Per-setting scheduling scratch: the de-dup stamp over circuit ids
+	// and the reused active list / parallel result buffers.
+	activeStamp []uint32
+	activeEpoch uint32
+	active      []CircuitID
+	results     []stepResult
+	detBuf      []int
+	obsBuf      []CircuitID
+
+	// settingBuf is the reusable reduced setting rebuilt per step from
+	// the trace's input changes; allNodes caches the storage-node list
+	// the initialization step perturbs.
+	settingBuf switchsim.Setting
+	allNodes   []netlist.NodeID
+
+	// deltaLog accumulates the mirror deltas (changed inputs + changed
+	// storage nodes, post-step values) the worker scratch mirrors sync
+	// from lazily, each on its own goroutine (see faultWorker.catchUp);
+	// trimDeltaLog bounds it.
+	deltaLog []switchsim.Change
+
+	started    bool // the initialization trace has been consumed
+	patternIdx int
+	settingIdx int
+}
+
+// NewFaultBatch builds a replay-mode consumer over a shared Tables: the
+// batch owns its good-state mirror and is driven entirely by recorded
+// traces (RunRecording), so campaigns construct one per fault shard with
+// no good-circuit solver at all. Fault insertion happens here, against the
+// reset state: defects are present from power-on.
+func NewFaultBatch(tab *switchsim.Tables, faults []fault.Fault, opts Options) (*FaultBatch, error) {
+	return newBatch(tab, nil, faults, opts)
+}
+
+// newBatch builds the consumer. good is the post-step good-state source to
+// share (live mode; it must still hold the reset state), or nil to create
+// an owned mirror (replay mode).
+func newBatch(tab *switchsim.Tables, good *switchsim.Circuit, faults []fault.Fault, opts Options) (*FaultBatch, error) {
+	nw := tab.Net
+	if len(opts.Observe) == 0 {
+		return nil, fmt.Errorf("core: no observed outputs configured")
+	}
+	for _, o := range opts.Observe {
+		if o < 0 || int(o) >= nw.NumNodes() {
+			return nil, fmt.Errorf("core: observed node %d out of range", o)
+		}
+	}
+	b := &FaultBatch{
+		tab:         tab,
+		nw:          nw,
+		opts:        opts,
+		good:        good,
+		prev:        switchsim.NewCircuit(tab),
+		nodeCircs:   make([][]CircuitID, nw.NumNodes()),
+		interest:    make([]interestList, nw.NumNodes()),
+		touchStamp:  make([]uint32, nw.NumNodes()),
+		inputStamp:  make([]uint32, nw.NumNodes()),
+		activeStamp: make([]uint32, len(faults)+1),
+	}
+	if good == nil {
+		b.good = switchsim.NewCircuit(tab)
+		b.ownsGood = true
+	}
+
+	nWorkers := opts.Workers
+	if nWorkers <= 0 {
+		nWorkers = runtime.GOMAXPROCS(0)
+	}
+	for i := 0; i < nWorkers; i++ {
+		b.workers = append(b.workers, newFaultWorker(b))
+	}
+
+	for _, f := range faults {
+		b.faults = append(b.faults, &faultState{f: f, sites: siteSet(nw, f)})
+	}
+	b.live = len(b.faults)
+
+	// Register static interest and record each fault's immediate (reset
+	// state) divergence, all before initialization.
+	for fi, fs := range b.faults {
+		ci := CircuitID(fi + 1)
+		for _, n := range fs.sites {
+			b.incInterest(n, ci)
+		}
+		b.insertFault(ci)
+	}
+	return b, nil
+}
+
+// siteSet computes the static interest sites of a fault: the storage
+// nodes where the faulty circuit's response can deviate from the good
+// circuit's regardless of current divergence.
+//
+// For a fault on a storage node, the node itself suffices as the channel
+// trigger: whenever the good circuit's activity reaches the node's
+// electrical neighborhood, the node is inside the explored vicinity (a
+// vicinity contains every storage node reachable through conducting
+// transistors, and a non-conducting transistor isolates the node in both
+// circuits identically). A fault on an *input* node is different: input
+// nodes are never members of vicinities, so the fault's conducting
+// neighborhood must be registered explicitly — this is what makes a
+// frozen clock line expensive (its interest spans every clocked element,
+// the paper's head-phase behavior) while a stuck memory bit stays cheap.
+func siteSet(nw *netlist.Network, f fault.Fault) []netlist.NodeID {
+	sites := f.Sites(nw)
+	if f.Kind.IsNodeFault() && nw.Node(f.Node).Kind == netlist.Input {
+		seen := make(map[netlist.NodeID]bool, len(sites)+4)
+		for _, n := range sites {
+			seen[n] = true
+		}
+		for _, t := range nw.Channel(f.Node) {
+			o := nw.Transistor(t).Other(f.Node)
+			if nw.Node(o).Kind != netlist.Input && !seen[o] {
+				seen[o] = true
+				sites = append(sites, o)
+			}
+		}
+		sort.Slice(sites, func(i, j int) bool { return sites[i] < sites[j] })
+	}
+	return sites
+}
+
+// insertFault records the immediate divergence a fault forces before any
+// settling: a forced node whose pinned value differs from the good
+// circuit's reset value. Transistor pins change no node values by
+// themselves, so they create no insertion records; their effects appear
+// during the initialization settle, which runs as a regular concurrent
+// step so that fault insertion happens *before* initialization — a
+// manufacturing defect is present from power-on, exactly as in the serial
+// reference simulation.
+func (b *FaultBatch) insertFault(ci CircuitID) {
+	w := b.workers[0]
+	w.ops = w.ops[:0]
+	lo, hi := w.insertFault(ci)
+	b.applyOps(ci, w.ops[lo:hi], false)
+}
+
+// NumFaults returns the number of faults in the batch.
+func (b *FaultBatch) NumFaults() int { return len(b.faults) }
+
+// Fault returns the fault at batch index fi.
+func (b *FaultBatch) Fault(fi int) fault.Fault { return b.faults[fi].f }
+
+// Detected reports whether fault fi has been detected, with details.
+func (b *FaultBatch) Detected(fi int) (Detection, bool) {
+	return b.faults[fi].det, b.faults[fi].detected
+}
+
+// Oscillated reports whether fault fi's circuit ever hit the round limit.
+func (b *FaultBatch) Oscillated(fi int) bool { return b.faults[fi].oscillated }
+
+// Live returns the number of undropped circuits, O(1).
+func (b *FaultBatch) Live() int { return b.live }
+
+// Records returns a copy of the divergence records of fault fi.
+func (b *FaultBatch) Records(fi int) map[netlist.NodeID]logic.Value {
+	recs := &b.faults[fi].recs
+	out := make(map[netlist.NodeID]logic.Value, recs.size())
+	for i, n := range recs.nodes {
+		out[n] = recs.vals[i]
+	}
+	return out
+}
+
+// FaultValue returns the state of node n in faulty circuit fi: the
+// divergence record if present, the good-circuit state otherwise.
+func (b *FaultBatch) FaultValue(fi int, n netlist.NodeID) logic.Value {
+	if v, ok := b.faults[fi].recs.get(n); ok {
+		return v
+	}
+	return b.good.Value(n)
+}
+
+// BeginPattern resets the per-pattern setting counter; EndPattern advances
+// the pattern counter. Drivers bracket each pattern's settings with them
+// so Detection coordinates match across drivers.
+func (b *FaultBatch) BeginPattern() { b.settingIdx = 0 }
+
+// EndPattern advances to the next pattern.
+func (b *FaultBatch) EndPattern() { b.patternIdx++ }
+
+// touch stamps node n into the touched region of the current setting.
+func (b *FaultBatch) touch(n netlist.NodeID) {
+	if b.touchStamp[n] != b.touchEpoch {
+		b.touchStamp[n] = b.touchEpoch
+		b.touched = append(b.touched, n)
+	}
+}
+
+// Step executes one good-circuit step trace against every live circuit in
+// the batch: scheduling from the trace's activity, simulating each
+// activated circuit (adopting from the trajectory where provably
+// identical), diffing into divergence records, and finally advancing the
+// pre-step mirrors to the post-step state. Returns the fault-side setting
+// statistics (the caller owns the good-side fields).
+func (b *FaultBatch) Step(trace *switchsim.StepTrace) SettingStats {
+	t0 := time.Now()
+	w0 := b.faultWorkUnits()
+
+	if b.ownsGood {
+		// Advance the owned good mirror to the post-step state before
+		// anything reads it (scheduling, inertness checks, the diff).
+		b.applyToCircuit(b.good, trace.InputChanges)
+		b.applyToCircuit(b.good, trace.Changed)
+	}
+
+	traj := trace.Traj
+	if trace.Oscillated || b.opts.FullReplay {
+		// X-resolution makes the trajectory unreliable as an oracle; fall
+		// back to full replays this step (also the FullReplay ablation's
+		// path).
+		traj = nil
+	}
+
+	var nActive int
+	if trace.Init {
+		// Power-on initialization: every circuit settles from its own
+		// (faulted) view of the reset state — the concurrent counterpart
+		// of the serial reference's reset + inject + settle-all.
+		b.started = true
+		b.active = b.active[:0]
+		for fi := range b.faults {
+			b.active = append(b.active, CircuitID(fi+1))
+		}
+		b.runActivated(nil, b.allStorageNodes(), traj, trace.Changed)
+		nActive = len(b.active)
+	} else {
+		b.markTouched(trace)
+		nActive = b.simulateActivated(b.reducedSetting(trace.InputChanges), traj, trace.Changed)
+	}
+
+	// Advance prev (and, lazily, the worker scratch mirrors) to the
+	// post-step state: cost proportional to the step's activity, and by
+	// the time the next step's circuits materialize, each mirror catches
+	// up to its pre-step state.
+	b.applyDelta(trace.InputChanges)
+	b.applyDelta(trace.Changed)
+	b.trimDeltaLog()
+
+	st := SettingStats{
+		Pattern:        b.patternIdx,
+		Setting:        b.settingIdx,
+		ActiveCircuits: nActive,
+		LiveFaults:     b.live,
+		FaultWork:      b.faultWorkUnits() - w0,
+		FaultNS:        time.Since(t0).Nanoseconds(),
+	}
+	if !trace.Init {
+		b.settingIdx++
+	}
+	return st
+}
+
+// markTouched recomputes the step's touched region from the trace: the
+// conservative trigger neighborhood of the input changes — storage nodes
+// adjacent to a changing input through ANY transistor (a faulty circuit
+// may conduct where the good circuit does not), plus the channel terminals
+// of transistors the input gates — and everything the good settle
+// explored.
+func (b *FaultBatch) markTouched(trace *switchsim.StepTrace) {
+	b.touchEpoch++
+	b.touched = b.touched[:0]
+	b.inputEpoch++
+	for _, ch := range trace.InputChanges {
+		b.inputStamp[ch.Node] = b.inputEpoch
+		for _, e := range b.tab.ChannelOf(ch.Node) {
+			if !b.tab.IsInput(e.Other) {
+				b.touch(e.Other)
+			}
+		}
+		for _, e := range b.tab.GatedByOf(ch.Node) {
+			if !b.tab.IsInput(e.Src) {
+				b.touch(e.Src)
+			}
+			if !b.tab.IsInput(e.Drn) {
+				b.touch(e.Drn)
+			}
+		}
+	}
+	for _, n := range trace.Explored {
+		b.touch(n)
+	}
+}
+
+// reducedSetting rebuilds a Setting from the trace's input changes.
+// Assignments that matched the previous value are gone, but they perturb
+// no circuit: an unchanged input is a no-op in the faulty circuits too
+// (and a fault-forced input ignores its driver either way), so the
+// reduction is exact.
+func (b *FaultBatch) reducedSetting(inputs []switchsim.Change) switchsim.Setting {
+	b.settingBuf = b.settingBuf[:0]
+	for _, ch := range inputs {
+		b.settingBuf = append(b.settingBuf, switchsim.Assignment{Node: ch.Node, Value: ch.Value})
+	}
+	return b.settingBuf
+}
+
+// allStorageNodes returns (caching) the storage-node list the
+// initialization step perturbs.
+func (b *FaultBatch) allStorageNodes() []netlist.NodeID {
+	if b.allNodes == nil {
+		for i := 0; i < b.nw.NumNodes(); i++ {
+			n := netlist.NodeID(i)
+			if b.nw.Node(n).Kind != netlist.Input {
+				b.allNodes = append(b.allNodes, n)
+			}
+		}
+	}
+	return b.allNodes
+}
+
+// applyToCircuit writes a change list into one circuit, refreshing the
+// transistors each changed node gates.
+func (b *FaultBatch) applyToCircuit(c *switchsim.Circuit, chs []switchsim.Change) {
+	for _, ch := range chs {
+		c.OverrideValue(ch.Node, ch.Value)
+		c.RefreshGates(ch.Node)
+	}
+}
+
+// simulateActivated schedules every live circuit whose interest set
+// intersects the touched region and re-simulates each: against the good
+// trajectory when one is available (adopting identical regions, solving
+// divergent ones — see switchsim.SettleReplay), or by a full replay of
+// the setting otherwise. Returns the number of activated circuits.
+func (b *FaultBatch) simulateActivated(setting switchsim.Setting, traj *switchsim.Trajectory, goodChanged []switchsim.Change) int {
+	b.activeEpoch++
+	b.active = b.active[:0]
+	for _, n := range b.touched {
+		for _, e := range b.interest[n] {
+			if b.activeStamp[e.ci] == b.activeEpoch {
+				continue
+			}
+			b.activeStamp[e.ci] = b.activeEpoch
+			if fs := b.faults[e.ci-1]; !fs.dropped && !b.faultInert(fs) {
+				b.active = append(b.active, e.ci)
+			}
+		}
+	}
+	slices.Sort(b.active)
+	b.runActivated(setting, nil, traj, goodChanged)
+	return len(b.active)
+}
+
+// faultInert reports whether a divergence-free circuit provably cannot
+// deviate from the good circuit this step, so its activation may be
+// skipped. A transistor fault is inert when the good transistor's state
+// equals the pinned state and its gate was untouched the whole step (the
+// two circuits had identical switch states throughout); a node fault is
+// inert when the good node holds the forced value and was untouched (same
+// value, and no vicinity involving the node was computed). This filter is
+// what keeps a latent stuck memory bit from being re-simulated every time
+// its (isolated) write bit line swings — the locality the paper's tail
+// phase depends on.
+func (b *FaultBatch) faultInert(fs *faultState) bool {
+	if fs.recs.size() > 0 {
+		return false
+	}
+	if pin, ok := fs.f.PinnedState(); ok {
+		t := fs.f.Trans
+		gate := b.nw.Transistor(t).Gate
+		return !b.wasTouched(gate) && b.good.TransState(t) == pin
+	}
+	forced, _ := fs.f.ForcedState()
+	return !b.wasTouched(fs.f.Node) && b.good.Value(fs.f.Node) == forced
+}
+
+// wasTouched reports whether node n was touched this step: explored by
+// the good settle, in the input-change neighborhood, or (for inputs) the
+// changed input itself.
+func (b *FaultBatch) wasTouched(n netlist.NodeID) bool {
+	if b.nw.Node(n).Kind == netlist.Input {
+		return b.inputStamp[n] == b.inputEpoch
+	}
+	return b.touchStamp[n] == b.touchEpoch
+}
+
+// Observe compares every observed output of every circuit holding a
+// divergence record there against the good circuit, recording detections
+// and dropping circuits per the policy. Only circuits that actually
+// diverge at an output are examined — the paper's reason for keeping
+// per-node state lists. Returns the batch indices of the faults first
+// detected by this observation.
+func (b *FaultBatch) Observe() []int {
+	detectedNow := b.detBuf[:0]
+	for _, o := range b.opts.Observe {
+		gv := b.good.Value(o)
+		circs := b.nodeCircs[o]
+		if len(circs) == 0 {
+			continue
+		}
+		// Iterate over a reused snapshot: drops mutate the list.
+		b.obsBuf = append(b.obsBuf[:0], circs...)
+		for _, ci := range b.obsBuf {
+			fs := b.faults[ci-1]
+			if fs.dropped {
+				continue // dropped at an earlier output this observation
+			}
+			fv, ok := fs.recs.get(o)
+			if !ok || fv == gv {
+				continue // defensive: records should exist and differ
+			}
+			hard := gv.Definite() && fv.Definite()
+			// Under DropHardOnly, an X-vs-definite difference is only a
+			// potential detection and does not count; otherwise any
+			// difference detects, per the paper.
+			counts := hard || b.opts.Drop != DropHardOnly
+			if counts && !fs.detected {
+				fs.det = Detection{
+					Pattern: b.patternIdx, Setting: b.settingIdx - 1,
+					Output: o, Good: gv, Faulty: fv, Hard: hard,
+				}
+				fs.detected = true
+				detectedNow = append(detectedNow, int(ci-1))
+			}
+			drop := false
+			switch b.opts.Drop {
+			case DropAnyDifference:
+				drop = true
+			case DropHardOnly:
+				drop = hard
+			case NeverDrop:
+			}
+			if drop {
+				b.dropCircuit(ci)
+			}
+		}
+	}
+	b.detBuf = detectedNow
+	return detectedNow
+}
+
+// BatchResult is the outcome of replaying one fault batch over a recorded
+// good trajectory. All fields are deterministic (bit-identical for every
+// batching and worker count) except the FaultNS wall-clock figures, and
+// the whole value is JSON-serializable for campaign checkpoints.
+type BatchResult struct {
+	// NumFaults is the batch width.
+	NumFaults int `json:"num_faults"`
+	// PerSetting carries the fault-side stats of every input setting in
+	// sequence order (good-side fields zero: the producer owns them).
+	// Campaigns merge these at setting granularity so aggregates like
+	// MaxActive stay exact.
+	PerSetting []SettingStats `json:"per_setting"`
+	// PerPattern aggregates the batch's fault-side pattern stats.
+	PerPattern []PatternStats `json:"per_pattern"`
+	// Detected, Detections and Oscillated are indexed by batch fault
+	// index.
+	Detected   []bool      `json:"detected"`
+	Detections []Detection `json:"detections"`
+	Oscillated []bool      `json:"oscillated"`
+	// Records holds each fault's final divergence records (nil when
+	// empty): the faulty circuit's state wherever it still differs from
+	// the good circuit at the end of the sequence.
+	Records []map[netlist.NodeID]logic.Value `json:"records,omitempty"`
+}
+
+// RunRecording replays a captured good trajectory against the batch: the
+// initialization step first, then every pattern of seq with observations
+// at its observe points. The batch must be freshly constructed. The
+// recording must have been captured over the same network and sequence.
+func (b *FaultBatch) RunRecording(rec *switchsim.Recording, seq *switchsim.Sequence) (*BatchResult, error) {
+	if b.started {
+		return nil, fmt.Errorf("core: batch already ran; build a fresh FaultBatch per replay")
+	}
+	if err := rec.Validate(b.nw, seq.NumSettings()); err != nil {
+		return nil, err
+	}
+	b.Step(&rec.Steps[0])
+
+	br := &BatchResult{NumFaults: len(b.faults)}
+	si := 1
+	for pi := range seq.Patterns {
+		p := &seq.Patterns[pi]
+		b.BeginPattern()
+		ps := PatternStats{Pattern: pi, Name: p.Name, LiveBefore: b.live}
+		for i := range p.Settings {
+			st := b.Step(&rec.Steps[si])
+			si++
+			br.PerSetting = append(br.PerSetting, st)
+			ps.FaultWork += st.FaultWork
+			ps.FaultNS += st.FaultNS
+			if st.ActiveCircuits > ps.MaxActive {
+				ps.MaxActive = st.ActiveCircuits
+			}
+			ps.Settings++
+			if p.ObserveAt(i) {
+				ps.Detected += len(b.Observe())
+			}
+		}
+		ps.LiveAfter = b.live
+		br.PerPattern = append(br.PerPattern, ps)
+		b.EndPattern()
+	}
+
+	for fi, fs := range b.faults {
+		br.Detected = append(br.Detected, fs.detected)
+		br.Detections = append(br.Detections, fs.det)
+		br.Oscillated = append(br.Oscillated, fs.oscillated)
+		var recs map[netlist.NodeID]logic.Value
+		if fs.recs.size() > 0 {
+			recs = b.Records(fi)
+		}
+		br.Records = append(br.Records, recs)
+	}
+	return br, nil
+}
+
+// RunBatch builds a replay-mode batch over one slice of the fault universe
+// and runs it against a recorded good trajectory: the campaign engine's
+// unit of work. Batches over the same Tables are independent and safe to
+// run concurrently.
+func RunBatch(tab *switchsim.Tables, faults []fault.Fault, rec *switchsim.Recording, seq *switchsim.Sequence, opts Options) (*BatchResult, error) {
+	b, err := NewFaultBatch(tab, faults, opts)
+	if err != nil {
+		return nil, err
+	}
+	return b.RunRecording(rec, seq)
+}

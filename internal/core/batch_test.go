@@ -1,0 +1,152 @@
+package core_test
+
+import (
+	"runtime"
+	"testing"
+
+	"fmossim/internal/core"
+	"fmossim/internal/fault"
+	"fmossim/internal/march"
+	"fmossim/internal/netlist"
+	"fmossim/internal/ram"
+	"fmossim/internal/switchsim"
+)
+
+// TestRunBatchMatchesMonolithic: a single replay-mode batch over a
+// recorded trajectory reproduces the monolithic simulator exactly —
+// the core seam the campaign engine builds on.
+func TestRunBatchMatchesMonolithic(t *testing.T) {
+	m := ram.New(ram.Config{Rows: 4, Cols: 4})
+	faults := fault.NodeStuckFaults(m.Net, fault.Options{})
+	seq := march.Sequence1(m)
+	opts := core.Options{Observe: []netlist.NodeID{m.DataOut}, Workers: 1}
+
+	mono, err := core.New(m.Net, faults, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	monoRes := mono.Run(seq)
+
+	rec := core.Record(m.Net, seq, core.Options{})
+	br, err := core.RunBatch(switchsim.NewTables(m.Net), faults, rec, seq, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for fi := range faults {
+		md, mok := mono.Detected(fi)
+		if br.Detected[fi] != mok || (mok && br.Detections[fi] != md) {
+			t.Fatalf("fault %s: batch detection %+v(%v) vs monolithic %+v(%v)",
+				faults[fi].Describe(m.Net), br.Detections[fi], br.Detected[fi], md, mok)
+		}
+		if br.Oscillated[fi] != mono.Oscillated(fi) {
+			t.Fatalf("fault %s: oscillation mismatch", faults[fi].Describe(m.Net))
+		}
+		mrec := mono.Records(fi)
+		if len(mrec) != len(br.Records[fi]) {
+			t.Fatalf("fault %s: %d records vs %d", faults[fi].Describe(m.Net), len(br.Records[fi]), len(mrec))
+		}
+		for n, v := range mrec {
+			if br.Records[fi][n] != v {
+				t.Fatalf("fault %s node %s: %s vs %s", faults[fi].Describe(m.Net), m.Net.Name(n), br.Records[fi][n], v)
+			}
+		}
+	}
+
+	var fw int64
+	for _, st := range br.PerSetting {
+		fw += st.FaultWork
+	}
+	if fw != monoRes.FaultWork {
+		t.Fatalf("fault work %d vs monolithic %d", fw, monoRes.FaultWork)
+	}
+	for pi := range monoRes.PerPattern {
+		mp, bp := monoRes.PerPattern[pi], br.PerPattern[pi]
+		if bp.FaultWork != mp.FaultWork || bp.MaxActive != mp.MaxActive ||
+			bp.Detected != mp.Detected || bp.LiveBefore != mp.LiveBefore || bp.LiveAfter != mp.LiveAfter {
+			t.Fatalf("pattern %d stats mismatch: batch %+v vs mono %+v", pi, bp, mp)
+		}
+	}
+
+	// A consumed batch refuses to replay again.
+	b2, err := core.NewFaultBatch(switchsim.NewTables(m.Net), faults[:2], opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b2.RunRecording(rec, seq); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b2.RunRecording(rec, seq); err == nil {
+		t.Fatal("re-running a consumed batch should fail")
+	}
+}
+
+// allocBytes measures heap bytes allocated by f on the calling goroutine.
+func allocBytes(f func()) uint64 {
+	var m0, m1 runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&m0)
+	f()
+	runtime.ReadMemStats(&m1)
+	return m1.TotalAlloc - m0.TotalAlloc
+}
+
+// TestBatchMemoryScalesWithWidth is the acceptance check for the pooled
+// record scratch: growing a batch by ΔF faults must cost far less than
+// ΔF × numNodes bytes. The former design gave every fault a dense
+// node-indexed bitmap + value array (≈ 1.125 × numNodes bytes per
+// fault); pooling them per worker leaves only the sparse divergence
+// store, whose size is activity-dependent and tiny at construction.
+func TestBatchMemoryScalesWithWidth(t *testing.T) {
+	m := ram.RAM256()
+	tab := switchsim.NewTables(m.Net)
+	// Transistor faults have two-node site sets and no insertion records:
+	// their construction cost isolates the per-fault bookkeeping from
+	// workload-dependent site fanout.
+	faults := fault.TransistorStuckFaults(m.Net, fault.Options{})
+	opts := core.Options{Observe: []netlist.NodeID{m.DataOut}, Workers: 1}
+	const small, delta = 16, 256
+	if len(faults) < small+delta {
+		t.Fatalf("universe too small: %d", len(faults))
+	}
+
+	sink := make([]*core.FaultBatch, 0, 2)
+	mk := func(n int) func() {
+		return func() {
+			b, err := core.NewFaultBatch(tab, faults[:n], opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sink = append(sink, b)
+		}
+	}
+	base := allocBytes(mk(small))
+	big := allocBytes(mk(small + delta))
+	_ = sink
+
+	perFault := float64(big-base) / float64(delta)
+	densePerFault := float64(m.Net.NumNodes()) * 1.125 // old recVal + recBits
+	t.Logf("numNodes=%d: %.0f B/fault marginal (dense design needed ≥ %.0f)",
+		m.Net.NumNodes(), perFault, densePerFault)
+	if perFault > densePerFault/2 {
+		t.Fatalf("per-fault construction cost %.0f B approaches the dense design's %.0f B: pooling regressed",
+			perFault, densePerFault)
+	}
+}
+
+// TestDropPolicyString covers the policy names.
+func TestDropPolicyString(t *testing.T) {
+	cases := map[core.DropPolicy]string{
+		core.DropAnyDifference: "drop-any-difference",
+		core.DropHardOnly:      "drop-hard-only",
+		core.NeverDrop:         "never-drop",
+	}
+	for p, want := range cases {
+		if got := p.String(); got != want {
+			t.Errorf("DropPolicy(%d).String() = %q, want %q", uint8(p), got, want)
+		}
+	}
+	if got := core.DropPolicy(200).String(); got != "DropPolicy(200)" {
+		t.Errorf("unknown policy prints %q", got)
+	}
+}

@@ -28,12 +28,20 @@
 // Whenever a faulty circuit's observed output differs from the good
 // circuit's, the fault is detected and the circuit is dropped: its records
 // are purged and it is never simulated again.
+//
+// The package is split along the producer/consumer seam: a goodRunner
+// simulates the fault-free circuit and emits one switchsim.StepTrace per
+// step (good.go); a FaultBatch consumes step traces and executes an
+// arbitrary slice of the fault universe against them (batch.go). The
+// Simulator below wires one producer to one batch covering the whole
+// universe — the classic monolithic configuration. Record captures the
+// producer's traces as a switchsim.Recording, against which independent
+// batches can replay without a good-circuit solver (see internal/campaign
+// for the sharded campaign engine built on top).
 package core
 
 import (
 	"fmt"
-	"runtime"
-	"sort"
 
 	"fmossim/internal/fault"
 	"fmossim/internal/logic"
@@ -67,6 +75,19 @@ const (
 	// the fault-dropping ablation.
 	NeverDrop
 )
+
+// String names the policy.
+func (p DropPolicy) String() string {
+	switch p {
+	case DropAnyDifference:
+		return "drop-any-difference"
+	case DropHardOnly:
+		return "drop-hard-only"
+	case NeverDrop:
+		return "never-drop"
+	}
+	return fmt.Sprintf("DropPolicy(%d)", uint8(p))
+}
 
 // Options configures a concurrent fault simulation.
 type Options struct {
@@ -105,7 +126,11 @@ type Detection struct {
 	Hard bool
 }
 
-// faultState carries the per-fault bookkeeping.
+// faultState carries the per-fault bookkeeping. Its only per-node storage
+// is the sparse divergence store: the dense bitmap/value mirrors the diff
+// pass needs are pooled per worker (see faultWorker), so total fault
+// bookkeeping scales with the divergence actually present, not with
+// faults × nodes.
 type faultState struct {
 	f        fault.Fault
 	sites    []netlist.NodeID // static interest sites
@@ -115,73 +140,18 @@ type faultState struct {
 	// recs is the authoritative divergence store: the faulty circuit's
 	// state at each node where it differs from the good circuit.
 	recs recStore
-	// recBits is a node-indexed membership bitmap over recs and recVal a
-	// node-indexed copy of the record values: the workers' diff pass
-	// tests membership and compares the old value with two loads instead
-	// of binary searches. recVal[n] is meaningful only where the bit is
-	// set.
-	recBits []uint64
-	recVal  []logic.Value
 	// oscillated notes any settle of this circuit hit the round limit.
 	oscillated bool
 }
 
-// Simulator is the concurrent fault simulator.
+// Simulator is the concurrent fault simulator: a good-circuit producer
+// wired to a single FaultBatch covering the entire fault universe.
 type Simulator struct {
-	tab  *switchsim.Tables
 	nw   *netlist.Network
 	opts Options
 
-	good *switchsim.Circuit
-	// prev holds the good circuit's pre-step state: faulty circuits are
-	// materialized from it so their settling starts from their own
-	// previous steady state. It is kept in sync with the good circuit by
-	// delta application (goodDelta), never by full copies.
-	prev   *switchsim.Circuit
-	gsolve *switchsim.Solver
-
-	// workers execute activated faulty circuits; each owns a scratch
-	// circuit (a live mirror of prev, patched and reverted per circuit by
-	// an undo log) and a private solver. workers[0] doubles as the inline
-	// path when parallel dispatch isn't worthwhile.
-	workers []*faultWorker
-
-	faults []*faultState
-
-	// nodeCircs[n] lists the circuits with a divergence record at n,
-	// sorted ascending: the paper's per-node state lists (the good
-	// circuit's entry is implicit: it is the good state itself).
-	nodeCircs [][]CircuitID
-	// interest[n] refcounts the circuits whose re-simulation triggers
-	// include node n.
-	interest []interestList
-
-	// Scratch for per-setting scheduling.
-	touchStamp []uint32
-	touchEpoch uint32
-	touched    []netlist.NodeID
-	inputStamp []uint32
-	inputEpoch uint32
-
-	// goodDelta lists the nodes where the good circuit may differ from
-	// prev after the current setting (the good settle's changed set; it
-	// aliases gsolve's scratch). changedInputs lists the input nodes whose
-	// values changed this setting. Together they drive the next setting's
-	// activity-proportional prev/scratch sync.
-	goodDelta     []netlist.NodeID
-	changedInputs []netlist.NodeID
-
-	// Per-setting scheduling scratch: the de-dup stamp over circuit ids
-	// and the reused active list / parallel result buffers.
-	activeStamp []uint32
-	activeEpoch uint32
-	active      []CircuitID
-	results     []stepResult
-	detBuf      []int
-	obsBuf      []CircuitID
-
-	patternIdx int
-	settingIdx int
+	gr    *goodRunner
+	batch *FaultBatch
 
 	stats RunStats
 }
@@ -192,150 +162,111 @@ type Simulator struct {
 // first pattern, so faults that corrupt the quiescent state are detectable
 // from pattern one.
 func New(nw *netlist.Network, faults []fault.Fault, opts Options) (*Simulator, error) {
-	if len(opts.Observe) == 0 {
-		return nil, fmt.Errorf("core: no observed outputs configured")
-	}
-	for _, o := range opts.Observe {
-		if o < 0 || int(o) >= nw.NumNodes() {
-			return nil, fmt.Errorf("core: observed node %d out of range", o)
-		}
-	}
 	tab := switchsim.NewTables(nw)
-	s := &Simulator{
-		tab:         tab,
-		nw:          nw,
-		opts:        opts,
-		good:        switchsim.NewCircuit(tab),
-		prev:        switchsim.NewCircuit(tab),
-		gsolve:      switchsim.NewSolver(tab),
-		nodeCircs:   make([][]CircuitID, nw.NumNodes()),
-		interest:    make([]interestList, nw.NumNodes()),
-		touchStamp:  make([]uint32, nw.NumNodes()),
-		inputStamp:  make([]uint32, nw.NumNodes()),
-		activeStamp: make([]uint32, len(faults)+1),
+	gr := newGoodRunner(tab, opts)
+	// The batch shares the producer's circuit as its good-state view; it
+	// is constructed before initialization, so fault insertion sees the
+	// reset state: defects are present from power-on.
+	batch, err := newBatch(tab, gr.good, faults, opts)
+	if err != nil {
+		return nil, err
 	}
-	s.gsolve.Record = true
-	s.gsolve.StaticLocality = opts.StaticLocality
-	s.gsolve.MaxRounds = opts.MaxRounds
-
-	nWorkers := opts.Workers
-	if nWorkers <= 0 {
-		nWorkers = runtime.GOMAXPROCS(0)
-	}
-	for i := 0; i < nWorkers; i++ {
-		s.workers = append(s.workers, newFaultWorker(s))
-	}
-
-	for _, f := range faults {
-		fs := &faultState{
-			f:       f,
-			sites:   siteSet(nw, f),
-			recBits: make([]uint64, (nw.NumNodes()+63)/64),
-			recVal:  make([]logic.Value, nw.NumNodes()),
-		}
-		s.faults = append(s.faults, fs)
-	}
-	s.stats.LiveFaults = len(s.faults)
-
-	// Register static interest and record each fault's immediate (reset
-	// state) divergence, all before initialization: defects are present
-	// from power-on.
-	for fi, fs := range s.faults {
-		ci := CircuitID(fi + 1)
-		for _, n := range fs.sites {
-			s.incInterest(n, ci)
-		}
-		s.insertFault(ci)
-	}
+	s := &Simulator{nw: nw, opts: opts, gr: gr, batch: batch}
+	s.stats.LiveFaults = batch.Live()
 	// Power-on initialization, run as a concurrent step.
-	s.initStep()
+	batch.Step(gr.init())
 	return s, nil
-}
-
-// siteSet computes the static interest sites of a fault: the storage
-// nodes where the faulty circuit's response can deviate from the good
-// circuit's regardless of current divergence.
-//
-// For a fault on a storage node, the node itself suffices as the channel
-// trigger: whenever the good circuit's activity reaches the node's
-// electrical neighborhood, the node is inside the explored vicinity (a
-// vicinity contains every storage node reachable through conducting
-// transistors, and a non-conducting transistor isolates the node in both
-// circuits identically). A fault on an *input* node is different: input
-// nodes are never members of vicinities, so the fault's conducting
-// neighborhood must be registered explicitly — this is what makes a
-// frozen clock line expensive (its interest spans every clocked element,
-// the paper's head-phase behavior) while a stuck memory bit stays cheap.
-func siteSet(nw *netlist.Network, f fault.Fault) []netlist.NodeID {
-	sites := f.Sites(nw)
-	if f.Kind.IsNodeFault() && nw.Node(f.Node).Kind == netlist.Input {
-		seen := make(map[netlist.NodeID]bool, len(sites)+4)
-		for _, n := range sites {
-			seen[n] = true
-		}
-		for _, t := range nw.Channel(f.Node) {
-			o := nw.Transistor(t).Other(f.Node)
-			if nw.Node(o).Kind != netlist.Input && !seen[o] {
-				seen[o] = true
-				sites = append(sites, o)
-			}
-		}
-		sort.Slice(sites, func(i, j int) bool { return sites[i] < sites[j] })
-	}
-	return sites
 }
 
 // Network returns the simulated network.
 func (s *Simulator) Network() *netlist.Network { return s.nw }
 
 // Good returns the good circuit (read-only use).
-func (s *Simulator) Good() *switchsim.Circuit { return s.good }
+func (s *Simulator) Good() *switchsim.Circuit { return s.gr.good }
 
 // NumFaults returns the size of the fault list.
-func (s *Simulator) NumFaults() int { return len(s.faults) }
+func (s *Simulator) NumFaults() int { return s.batch.NumFaults() }
 
 // Fault returns the fault at index fi.
-func (s *Simulator) Fault(fi int) fault.Fault { return s.faults[fi].f }
+func (s *Simulator) Fault(fi int) fault.Fault { return s.batch.Fault(fi) }
 
 // Detected reports whether fault fi has been detected, with details.
-func (s *Simulator) Detected(fi int) (Detection, bool) {
-	return s.faults[fi].det, s.faults[fi].detected
-}
+func (s *Simulator) Detected(fi int) (Detection, bool) { return s.batch.Detected(fi) }
 
 // Oscillated reports whether fault fi's circuit ever hit the oscillation
 // limit.
-func (s *Simulator) Oscillated(fi int) bool { return s.faults[fi].oscillated }
+func (s *Simulator) Oscillated(fi int) bool { return s.batch.Oscillated(fi) }
 
-// LiveFaults returns the number of circuits still being simulated.
-func (s *Simulator) LiveFaults() int {
-	n := 0
-	for _, fs := range s.faults {
-		if !fs.dropped {
-			n++
-		}
-	}
-	return n
-}
+// LiveFaults returns the number of circuits still being simulated, O(1).
+func (s *Simulator) LiveFaults() int { return s.batch.Live() }
 
 // Records returns a copy of the divergence records of fault fi: the faulty
 // circuit's state wherever it differs from the good circuit.
 func (s *Simulator) Records(fi int) map[netlist.NodeID]logic.Value {
-	recs := &s.faults[fi].recs
-	out := make(map[netlist.NodeID]logic.Value, recs.size())
-	for i, n := range recs.nodes {
-		out[n] = recs.vals[i]
-	}
-	return out
+	return s.batch.Records(fi)
 }
 
 // FaultValue returns the state of node n in faulty circuit fi: the
 // divergence record if present, the good-circuit state otherwise.
 func (s *Simulator) FaultValue(fi int, n netlist.NodeID) logic.Value {
-	if v, ok := s.faults[fi].recs.get(n); ok {
-		return v
-	}
-	return s.good.Value(n)
+	return s.batch.FaultValue(fi, n)
 }
 
 // Workers returns the size of the fault-circuit worker pool.
-func (s *Simulator) Workers() int { return len(s.workers) }
+func (s *Simulator) Workers() int { return len(s.batch.workers) }
+
+// CheckInvariants verifies the bidirectional consistency of the record
+// stores and the interest index; it is exported for tests and costs
+// O(faults × records), so production loops should not call it per setting.
+func (s *Simulator) CheckInvariants() error { return s.batch.CheckInvariants() }
+
+// StepSetting advances every live circuit through one input setting: the
+// good circuit first, then each activated faulty circuit in ascending
+// circuit-id order (the paper's circuit-by-circuit event processing).
+// Returns per-setting statistics.
+func (s *Simulator) StepSetting(setting switchsim.Setting) SettingStats {
+	trace := s.gr.step(setting)
+	st := s.batch.Step(trace)
+	st.GoodWork = trace.GoodWork
+	st.GoodNS = trace.GoodNS
+	return st
+}
+
+// RunPattern advances the simulation through one pattern: all of its
+// settings, observing outputs per the pattern's observation points.
+// Returns the pattern's statistics.
+func (s *Simulator) RunPattern(p *switchsim.Pattern) PatternStats {
+	b := s.batch
+	b.BeginPattern()
+	ps := PatternStats{Pattern: b.patternIdx, Name: p.Name, LiveBefore: b.Live()}
+	for i := range p.Settings {
+		st := s.StepSetting(p.Settings[i])
+		ps.GoodWork += st.GoodWork
+		ps.FaultWork += st.FaultWork
+		ps.GoodNS += st.GoodNS
+		ps.FaultNS += st.FaultNS
+		if st.ActiveCircuits > ps.MaxActive {
+			ps.MaxActive = st.ActiveCircuits
+		}
+		ps.Settings++
+		if p.ObserveAt(i) {
+			ps.Detected += len(b.Observe())
+		}
+	}
+	ps.LiveAfter = b.Live()
+	b.EndPattern()
+	s.stats.Patterns++
+	s.stats.LiveFaults = b.Live()
+	return ps
+}
+
+// Run simulates an entire test sequence, returning the aggregated result.
+func (s *Simulator) Run(seq *switchsim.Sequence) *Result {
+	r := &Result{Sequence: seq.Name, NumFaults: s.batch.NumFaults()}
+	for i := range seq.Patterns {
+		ps := s.RunPattern(&seq.Patterns[i])
+		r.PerPattern = append(r.PerPattern, ps)
+	}
+	r.finish(s.batch)
+	return r
+}

@@ -1,0 +1,109 @@
+// Good-circuit producer: simulates the fault-free circuit and emits one
+// switchsim.StepTrace per step. The trace is everything a FaultBatch needs
+// to execute the step's faulty circuits — input deltas, changed/explored
+// sets, and the settle trajectory — so producer and consumer are fully
+// decoupled: a trace can be consumed live (zero-copy, borrowing solver
+// scratch) or captured into a switchsim.Recording and replayed later by
+// any number of independent batches without re-running the good solver.
+package core
+
+import (
+	"time"
+
+	"fmossim/internal/netlist"
+	"fmossim/internal/switchsim"
+)
+
+// goodRunner owns the good circuit and its recording solver.
+type goodRunner struct {
+	tab    *switchsim.Tables
+	good   *switchsim.Circuit
+	gsolve *switchsim.Solver
+
+	// trace is the reusable live trace; inputBuf and changeBuf back its
+	// InputChanges and Changed slices. All are valid until the next step.
+	trace     switchsim.StepTrace
+	inputBuf  []switchsim.Change
+	changeBuf []switchsim.Change
+}
+
+func newGoodRunner(tab *switchsim.Tables, opts Options) *goodRunner {
+	g := &goodRunner{
+		tab:    tab,
+		good:   switchsim.NewCircuit(tab),
+		gsolve: switchsim.NewSolver(tab),
+	}
+	g.gsolve.Record = true
+	g.gsolve.StaticLocality = opts.StaticLocality
+	g.gsolve.MaxRounds = opts.MaxRounds
+	return g
+}
+
+// init runs the power-on initialization settle (every storage node
+// perturbed from the reset state) and returns its borrowed trace.
+func (g *goodRunner) init() *switchsim.StepTrace {
+	t0 := time.Now()
+	w0 := g.gsolve.Work()
+	res := g.gsolve.SettleAll(g.good)
+	return g.fill(true, nil, res, w0, t0)
+}
+
+// step applies one input setting, settles the good circuit, and returns
+// the borrowed trace. Input changes are computed against the pre-step
+// values, so the trace carries exactly the assignments that perturb any
+// circuit (an unchanged input is a no-op in faulty circuits too).
+func (g *goodRunner) step(setting switchsim.Setting) *switchsim.StepTrace {
+	t0 := time.Now()
+	w0 := g.gsolve.Work()
+	g.inputBuf = g.inputBuf[:0]
+	for _, a := range setting {
+		if g.good.Value(a.Node) != a.Value {
+			g.inputBuf = append(g.inputBuf, switchsim.Change{Node: a.Node, Value: a.Value})
+		}
+	}
+	seeds := g.gsolve.ApplySetting(g.good, setting)
+	res := g.gsolve.Settle(g.good, seeds)
+	return g.fill(false, g.inputBuf, res, w0, t0)
+}
+
+// fill assembles the borrowed step trace from a settle result: changed
+// nodes paired with their post-step values, the explored set, and the
+// recorded trajectory.
+func (g *goodRunner) fill(init bool, inputs []switchsim.Change, res switchsim.SettleResult, w0 switchsim.Work, t0 time.Time) *switchsim.StepTrace {
+	g.changeBuf = g.changeBuf[:0]
+	for _, n := range res.Changed {
+		g.changeBuf = append(g.changeBuf, switchsim.Change{Node: n, Value: g.good.Value(n)})
+	}
+	g.trace = switchsim.StepTrace{
+		Init:         init,
+		InputChanges: inputs,
+		Changed:      g.changeBuf,
+		Explored:     res.Explored,
+		Oscillated:   res.Oscillated,
+		Traj:         &g.gsolve.Traj,
+		GoodWork:     g.gsolve.Work().Sub(w0).Units(),
+		GoodNS:       time.Since(t0).Nanoseconds(),
+	}
+	return &g.trace
+}
+
+// Record simulates only the good circuit through an entire test sequence
+// and captures its trajectory as a reusable, serializable Recording: the
+// power-on initialization plus one step per input setting. Fault batches
+// replay the recording without any good-circuit solver work — the
+// record-once/replay-many half of the campaign engine.
+//
+// Only the good-side options (StaticLocality, MaxRounds) are consulted;
+// Observe and the fault-side options configure consumers, not the capture.
+func Record(nw *netlist.Network, seq *switchsim.Sequence, opts Options) *switchsim.Recording {
+	g := newGoodRunner(switchsim.NewTables(nw), opts)
+	rec := switchsim.NewRecording(nw)
+	rec.Append(g.init())
+	for pi := range seq.Patterns {
+		p := &seq.Patterns[pi]
+		for i := range p.Settings {
+			rec.Append(g.step(p.Settings[i]))
+		}
+	}
+	return rec
+}

@@ -12,6 +12,14 @@
 // to circuit size, which is the paper's central scaling claim carried down
 // into the constant factors.
 //
+// Memory pooling. The diff pass tests record membership with a node-indexed
+// bitmap and compares old values through a dense value array. Those dense
+// mirrors are worker-owned scratch, populated from the circuit's sparse
+// record store on entry and cleared on exit of each stepFaulty (cost ∝
+// records, which the overlay walks anyway). Per-fault memory is therefore
+// only the sparse store itself: total bookkeeping is O(workers × nodes +
+// total divergence), not O(faults × nodes).
+//
 // Parallelism. Given the good trajectory, the pre-step state, and the good
 // post-step state, the activated circuits of one setting are mutually
 // independent: each reads only shared immutable state and its own records,
@@ -54,9 +62,10 @@ type stepResult struct {
 
 // faultWorker owns the per-goroutine state needed to execute one faulty
 // circuit at a time: the scratch mirror of prev, a private solver, the
-// undo log, and epoch-stamped diff/interest scratch.
+// undo log, the pooled dense record mirrors, and epoch-stamped diff
+// scratch.
 type faultWorker struct {
-	sim     *Simulator
+	batch   *FaultBatch
 	scratch *switchsim.Circuit
 	solve   *switchsim.Solver
 
@@ -70,21 +79,57 @@ type faultWorker struct {
 	diffStamp []uint32
 	diffEpoch uint32
 
+	// Pooled dense record mirrors of the circuit currently executing:
+	// recBits is a node-indexed membership bitmap over its record store
+	// and recVal a node-indexed copy of the record values (meaningful
+	// only where the bit is set). Populated and cleared per stepFaulty,
+	// so the allocation is per worker, not per fault.
+	recBits []uint64
+	recVal  []logic.Value
+
+	// deltaPos marks how far into the batch's delta log this worker's
+	// scratch mirror has been synced (see catchUp).
+	deltaPos int
+
 	// ops is the worker's diff arena for the current setting.
 	ops []recOp
 }
 
-func newFaultWorker(s *Simulator) *faultWorker {
+func newFaultWorker(b *FaultBatch) *faultWorker {
+	n := b.nw.NumNodes()
 	w := &faultWorker{
-		sim:       s,
-		scratch:   switchsim.NewCircuit(s.tab),
-		solve:     switchsim.NewSolver(s.tab),
-		undoStamp: make([]uint32, s.nw.NumNodes()),
-		diffStamp: make([]uint32, s.nw.NumNodes()),
+		batch:     b,
+		scratch:   switchsim.NewCircuit(b.tab),
+		solve:     switchsim.NewSolver(b.tab),
+		undoStamp: make([]uint32, n),
+		diffStamp: make([]uint32, n),
+		recBits:   make([]uint64, (n+63)/64),
+		recVal:    make([]logic.Value, n),
 	}
-	w.solve.StaticLocality = s.opts.StaticLocality
-	w.solve.MaxRounds = s.opts.MaxRounds
+	w.solve.StaticLocality = b.opts.StaticLocality
+	w.solve.MaxRounds = b.opts.MaxRounds
 	return w
+}
+
+// catchUp replays the batch's pending delta-log suffix into this worker's
+// scratch mirror, bringing it up to prev (the current pre-step state).
+// Syncing is lazy and per-worker: the coordinator only appends deltas to
+// the shared log (and advances prev), and each worker catches up on its
+// own goroutine the next time it executes a circuit — so mirror
+// maintenance parallelizes instead of costing O(delta × workers) serial
+// time per setting, and workers idle through a quiet stretch pay nothing
+// until they run again. The log is read-only during fan-outs; it is
+// appended and trimmed only between them (see trimDeltaLog).
+func (w *faultWorker) catchUp() {
+	b := w.batch
+	if w.deltaPos == len(b.deltaLog) {
+		return
+	}
+	for _, ch := range b.deltaLog[w.deltaPos:] {
+		w.scratch.OverrideValue(ch.Node, ch.Value)
+		w.scratch.RefreshGates(ch.Node)
+	}
+	w.deltaPos = len(b.deltaLog)
 }
 
 // noteUndo stamps node n into the current circuit's undo set.
@@ -103,7 +148,7 @@ func (w *faultWorker) noteUndo(n netlist.NodeID) {
 func (w *faultWorker) seedInterest(fs *faultState) {
 	w.solve.BeginReplay()
 	for _, n := range fs.recs.nodes {
-		w.sim.recordInterestNodes(n, w.solve.SeedDiverged)
+		w.batch.recordInterestNodes(n, w.solve.SeedDiverged)
 	}
 	for _, n := range fs.sites {
 		w.solve.SeedDiverged(n)
@@ -121,9 +166,9 @@ func (w *faultWorker) diffNode(fs *faultState, n netlist.NodeID) {
 	}
 	w.diffStamp[n] = w.diffEpoch
 	fv := w.scratch.Value(n)
-	hasRec := fs.recBits[uint(n)>>6]>>(uint(n)&63)&1 != 0
-	if fv != w.sim.good.Value(n) {
-		if !hasRec || fs.recVal[n] != fv {
+	hasRec := w.recBits[uint(n)>>6]>>(uint(n)&63)&1 != 0
+	if fv != w.batch.good.Value(n) {
+		if !hasRec || w.recVal[n] != fv {
 			w.ops = append(w.ops, recOp{n: n, v: fv, set: true})
 		}
 	} else if hasRec {
@@ -134,6 +179,12 @@ func (w *faultWorker) diffNode(fs *faultState, n netlist.NodeID) {
 func (w *faultWorker) diffNodes(fs *faultState, nodes []netlist.NodeID) {
 	for _, n := range nodes {
 		w.diffNode(fs, n)
+	}
+}
+
+func (w *faultWorker) diffChanges(fs *faultState, chs []switchsim.Change) {
+	for _, ch := range chs {
+		w.diffNode(fs, ch.Node)
 	}
 }
 
@@ -151,19 +202,24 @@ func (w *faultWorker) diffNodes(fs *faultState, nodes []netlist.NodeID) {
 // state into the op arena, and reverted to the mirror before returning.
 // The returned range [lo,hi) locates the circuit's ops; osc reports an
 // oscillation.
-func (w *faultWorker) stepFaulty(ci CircuitID, setting switchsim.Setting, extraSeeds []netlist.NodeID, traj *switchsim.Trajectory, goodChanged []netlist.NodeID) (lo, hi int, osc bool) {
-	s := w.sim
-	fs := s.faults[ci-1]
+func (w *faultWorker) stepFaulty(ci CircuitID, setting switchsim.Setting, extraSeeds []netlist.NodeID, traj *switchsim.Trajectory, goodChanged []switchsim.Change) (lo, hi int, osc bool) {
+	b := w.batch
+	fs := b.faults[ci-1]
+	w.catchUp()
 
 	// Materialize the faulty circuit's pre-step view: overlay the
-	// divergence records, fix up transistor states for divergent gates,
-	// and apply the fault pin. Re-applying the fault is a materialization
-	// fix-up (the mirrored transistor states are the good circuit's), not
-	// a perturbation, so its seeds are discarded.
+	// divergence records (populating the pooled dense mirrors in the same
+	// walk), fix up transistor states for divergent gates, and apply the
+	// fault pin. Re-applying the fault is a materialization fix-up (the
+	// mirrored transistor states are the good circuit's), not a
+	// perturbation, so its seeds are discarded.
 	w.undoEpoch++
 	w.undo = w.undo[:0]
 	for i, n := range fs.recs.nodes {
-		w.scratch.OverrideValue(n, fs.recs.vals[i])
+		v := fs.recs.vals[i]
+		w.scratch.OverrideValue(n, v)
+		w.recBits[uint(n)>>6] |= 1 << (uint(n) & 63)
+		w.recVal[n] = v
 		w.noteUndo(n)
 	}
 	for _, n := range fs.recs.nodes {
@@ -200,7 +256,7 @@ func (w *faultWorker) stepFaulty(ci CircuitID, setting switchsim.Setting, extraS
 	w.diffEpoch++
 	lo = len(w.ops)
 	w.diffNodes(fs, res.Explored)
-	w.diffNodes(fs, goodChanged)
+	w.diffChanges(fs, goodChanged)
 	if nodeFault {
 		w.diffNode(fs, fs.f.Node)
 	}
@@ -208,7 +264,9 @@ func (w *faultWorker) stepFaulty(ci CircuitID, setting switchsim.Setting, extraS
 
 	// Revert the scratch to the prev mirror: restore exactly the touched
 	// nodes (overlay set, changed inputs, settle changes), refresh the
-	// transistors they gate, and lift the fault pin.
+	// transistors they gate, and lift the fault pin. The pooled bitmap is
+	// cleared in the same pass (recVal needs no clearing: it is
+	// meaningful only under set bits).
 	for _, n := range res.Changed {
 		w.noteUndo(n)
 	}
@@ -216,7 +274,7 @@ func (w *faultWorker) stepFaulty(ci CircuitID, setting switchsim.Setting, extraS
 		w.scratch.DropForce(fs.f.Node)
 	}
 	for _, n := range w.undo {
-		pv := s.prev.Value(n)
+		pv := b.prev.Value(n)
 		if w.scratch.Value(n) != pv {
 			w.scratch.OverrideValue(n, pv)
 			w.scratch.RefreshGates(n)
@@ -225,6 +283,9 @@ func (w *faultWorker) stepFaulty(ci CircuitID, setting switchsim.Setting, extraS
 	if !nodeFault {
 		w.scratch.DropPin(fs.f.Trans)
 	}
+	for _, n := range fs.recs.nodes {
+		w.recBits[uint(n)>>6] &^= 1 << (uint(n) & 63)
+	}
 	return lo, hi, res.Oscillated
 }
 
@@ -232,10 +293,12 @@ func (w *faultWorker) stepFaulty(ci CircuitID, setting switchsim.Setting, extraS
 // settling: a forced node whose pinned value differs from the good
 // circuit's reset value. Transistor pins change no node values by
 // themselves, so they create no insertion records. prev equals the good
-// reset state when this runs.
+// reset state when this runs, and the record store is empty, so the
+// pooled bitmap is correctly all-zero.
 func (w *faultWorker) insertFault(ci CircuitID) (lo, hi int) {
-	s := w.sim
-	fs := s.faults[ci-1]
+	b := w.batch
+	fs := b.faults[ci-1]
+	w.catchUp()
 	if !fs.f.Kind.IsNodeFault() {
 		return 0, 0
 	}
@@ -245,7 +308,7 @@ func (w *faultWorker) insertFault(ci CircuitID) (lo, hi int) {
 	w.diffNode(fs, fs.f.Node)
 	hi = len(w.ops)
 	w.scratch.DropForce(fs.f.Node)
-	w.scratch.OverrideValue(fs.f.Node, s.prev.Value(fs.f.Node))
+	w.scratch.OverrideValue(fs.f.Node, b.prev.Value(fs.f.Node))
 	w.scratch.RefreshGates(fs.f.Node)
 	return lo, hi
 }
@@ -253,16 +316,16 @@ func (w *faultWorker) insertFault(ci CircuitID) (lo, hi int) {
 // applyOps merges one circuit's deferred record mutations into the shared
 // stores. Called on the coordinating goroutine only, in ascending
 // circuit-id order.
-func (s *Simulator) applyOps(ci CircuitID, ops []recOp, osc bool) {
-	fs := s.faults[ci-1]
+func (b *FaultBatch) applyOps(ci CircuitID, ops []recOp, osc bool) {
+	fs := b.faults[ci-1]
 	if osc {
 		fs.oscillated = true
 	}
 	for _, op := range ops {
 		if op.set {
-			s.setRecord(op.n, ci, op.v)
+			b.setRecord(op.n, ci, op.v)
 		} else {
-			s.clearRecord(op.n, ci)
+			b.clearRecord(op.n, ci)
 		}
 	}
 }
@@ -270,34 +333,34 @@ func (s *Simulator) applyOps(ci CircuitID, ops []recOp, osc bool) {
 // runActivated executes the scheduled active circuits — inline on
 // workers[0] when the batch is small or the pool has size 1, sharded
 // across the pool otherwise — and merges their diffs deterministically.
-func (s *Simulator) runActivated(setting switchsim.Setting, extraSeeds []netlist.NodeID, traj *switchsim.Trajectory, goodChanged []netlist.NodeID) {
-	active := s.active
+func (b *FaultBatch) runActivated(setting switchsim.Setting, extraSeeds []netlist.NodeID, traj *switchsim.Trajectory, goodChanged []switchsim.Change) {
+	active := b.active
 	if len(active) == 0 {
 		return
 	}
-	if len(s.workers) == 1 || len(active) < minParallelBatch {
-		w := s.workers[0]
+	if len(b.workers) == 1 || len(active) < minParallelBatch {
+		w := b.workers[0]
 		w.ops = w.ops[:0]
 		for _, ci := range active {
 			lo, hi, osc := w.stepFaulty(ci, setting, extraSeeds, traj, goodChanged)
-			s.applyOps(ci, w.ops[lo:hi], osc)
+			b.applyOps(ci, w.ops[lo:hi], osc)
 			w.ops = w.ops[:lo]
 		}
 		return
 	}
 
-	if cap(s.results) < len(active) {
-		s.results = make([]stepResult, len(active)*2)
+	if cap(b.results) < len(active) {
+		b.results = make([]stepResult, len(active)*2)
 	}
-	results := s.results[:len(active)]
-	nWorkers := len(s.workers)
+	results := b.results[:len(active)]
+	nWorkers := len(b.workers)
 	if nWorkers > len(active) {
 		nWorkers = len(active)
 	}
 	var cursor atomic.Int64
 	var wg sync.WaitGroup
 	for wid := 0; wid < nWorkers; wid++ {
-		w := s.workers[wid]
+		w := b.workers[wid]
 		w.ops = w.ops[:0]
 		wg.Add(1)
 		go func(wid int, w *faultWorker) {
@@ -317,41 +380,58 @@ func (s *Simulator) runActivated(setting switchsim.Setting, extraSeeds []netlist
 	// which worker computed what or when it finished.
 	for i, ci := range active {
 		r := results[i]
-		s.applyOps(ci, s.workers[r.wid].ops[r.lo:r.hi], r.osc)
+		b.applyOps(ci, b.workers[r.wid].ops[r.lo:r.hi], r.osc)
 	}
 }
 
-// syncMirrors applies the previous setting's good-circuit delta — the
-// changed storage nodes and changed inputs — to prev and to every
-// worker's scratch mirror, making them equal to the good circuit's
-// current (pre-step) state. Cost is proportional to the previous
-// setting's activity, replacing the former O(nodes + transistors) full
-// copy per setting.
-func (s *Simulator) syncMirrors() {
-	s.applyDelta(s.changedInputs)
-	s.applyDelta(s.goodDelta)
-	s.goodDelta = nil
-	s.changedInputs = s.changedInputs[:0]
+// applyDelta advances prev by one change list (changed inputs or the good
+// settle's changed set, with post-step values) and appends it to the
+// delta log the worker mirrors sync from lazily. Called at the end of
+// each step, so the coordinator's cost is proportional to the step's
+// activity alone — independent of the worker count, and replacing the
+// former O(nodes + transistors) full copy per setting.
+func (b *FaultBatch) applyDelta(chs []switchsim.Change) {
+	for _, ch := range chs {
+		b.prev.OverrideValue(ch.Node, ch.Value)
+		b.prev.RefreshGates(ch.Node)
+	}
+	b.deltaLog = append(b.deltaLog, chs...)
 }
 
-func (s *Simulator) applyDelta(nodes []netlist.NodeID) {
-	for _, n := range nodes {
-		v := s.good.Value(n)
-		s.prev.OverrideValue(n, v)
-		s.prev.RefreshGates(n)
-		for _, w := range s.workers {
-			w.scratch.OverrideValue(n, v)
-			w.scratch.RefreshGates(n)
+// trimDeltaLog bounds the delta log. When every worker has caught up it
+// is simply reset; otherwise, once the log outgrows the cost of a full
+// state copy, laggard workers are synced wholesale from prev and the log
+// reset — so a worker that sits out a long quiet stretch costs one
+// amortized O(circuit) copy instead of an unbounded replay.
+func (b *FaultBatch) trimDeltaLog() {
+	maxLag := 0
+	for _, w := range b.workers {
+		if lag := len(b.deltaLog) - w.deltaPos; lag > maxLag {
+			maxLag = lag
 		}
+	}
+	if maxLag > 0 {
+		if len(b.deltaLog) <= b.nw.NumNodes()+b.nw.NumTransistors() {
+			return
+		}
+		for _, w := range b.workers {
+			if w.deltaPos != len(b.deltaLog) {
+				w.scratch.CopyStateFrom(b.prev)
+			}
+		}
+	}
+	b.deltaLog = b.deltaLog[:0]
+	for _, w := range b.workers {
+		w.deltaPos = 0
 	}
 }
 
 // faultWorkUnits sums the fault-side solver work across the pool. Each
 // circuit's work is deterministic and the sum is order-independent, so
 // the total is identical for every worker count.
-func (s *Simulator) faultWorkUnits() int64 {
+func (b *FaultBatch) faultWorkUnits() int64 {
 	var t int64
-	for _, w := range s.workers {
+	for _, w := range b.workers {
 		t += w.solve.Work().Units()
 	}
 	return t

@@ -9,13 +9,13 @@ import (
 )
 
 // incInterest registers circuit ci as interested in node n.
-func (s *Simulator) incInterest(n netlist.NodeID, ci CircuitID) {
-	s.interest[n] = s.interest[n].inc(ci)
+func (b *FaultBatch) incInterest(n netlist.NodeID, ci CircuitID) {
+	b.interest[n] = b.interest[n].inc(ci)
 }
 
 // decInterest removes one interest reference.
-func (s *Simulator) decInterest(n netlist.NodeID, ci CircuitID) {
-	s.interest[n] = s.interest[n].dec(ci)
+func (b *FaultBatch) decInterest(n netlist.NodeID, ci CircuitID) {
+	b.interest[n] = b.interest[n].dec(ci)
 }
 
 // recordInterestNodes visits the nodes whose interest registration follows
@@ -26,13 +26,13 @@ func (s *Simulator) decInterest(n netlist.NodeID, ci CircuitID) {
 // index (inc/dec), the replay divergence seeding, and the invariant
 // checker all go through it. The visit closures below do not escape, so
 // they stay on the caller's stack.
-func (s *Simulator) recordInterestNodes(n netlist.NodeID, visit func(netlist.NodeID)) {
+func (b *FaultBatch) recordInterestNodes(n netlist.NodeID, visit func(netlist.NodeID)) {
 	visit(n)
-	for _, e := range s.tab.GatedByOf(n) {
-		if !s.tab.IsInput(e.Src) {
+	for _, e := range b.tab.GatedByOf(n) {
+		if !b.tab.IsInput(e.Src) {
 			visit(e.Src)
 		}
-		if !s.tab.IsInput(e.Drn) {
+		if !b.tab.IsInput(e.Drn) {
 			visit(e.Drn)
 		}
 	}
@@ -40,93 +40,88 @@ func (s *Simulator) recordInterestNodes(n netlist.NodeID, visit func(netlist.Nod
 
 // incRecordInterest / decRecordInterest adjust the interest refcounts
 // implied by a divergence record at n.
-func (s *Simulator) incRecordInterest(n netlist.NodeID, ci CircuitID) {
-	s.recordInterestNodes(n, func(m netlist.NodeID) { s.incInterest(m, ci) })
+func (b *FaultBatch) incRecordInterest(n netlist.NodeID, ci CircuitID) {
+	b.recordInterestNodes(n, func(m netlist.NodeID) { b.incInterest(m, ci) })
 }
 
-func (s *Simulator) decRecordInterest(n netlist.NodeID, ci CircuitID) {
-	s.recordInterestNodes(n, func(m netlist.NodeID) { s.decInterest(m, ci) })
+func (b *FaultBatch) decRecordInterest(n netlist.NodeID, ci CircuitID) {
+	b.recordInterestNodes(n, func(m netlist.NodeID) { b.decInterest(m, ci) })
 }
 
 // setRecord inserts or updates the divergence record ⟨ci, v⟩ at node n.
-func (s *Simulator) setRecord(n netlist.NodeID, ci CircuitID, v logic.Value) {
-	fs := s.faults[ci-1]
+func (b *FaultBatch) setRecord(n netlist.NodeID, ci CircuitID, v logic.Value) {
+	fs := b.faults[ci-1]
 	i, exists := fs.recs.find(n)
-	fs.recVal[n] = v
 	if exists {
 		fs.recs.vals[i] = v
 		return
 	}
 	fs.recs.insertAt(i, n, v)
-	fs.recBits[uint(n)>>6] |= 1 << (uint(n) & 63)
-	s.insertNodeCirc(n, ci)
-	s.incRecordInterest(n, ci)
+	b.insertNodeCirc(n, ci)
+	b.incRecordInterest(n, ci)
 }
 
 // clearRecord removes the divergence record of circuit ci at node n, if
 // present.
-func (s *Simulator) clearRecord(n netlist.NodeID, ci CircuitID) {
-	fs := s.faults[ci-1]
+func (b *FaultBatch) clearRecord(n netlist.NodeID, ci CircuitID) {
+	fs := b.faults[ci-1]
 	i, exists := fs.recs.find(n)
 	if !exists {
 		return
 	}
 	fs.recs.deleteAt(i)
-	fs.recBits[uint(n)>>6] &^= 1 << (uint(n) & 63)
-	s.removeNodeCirc(n, ci)
-	s.decRecordInterest(n, ci)
+	b.removeNodeCirc(n, ci)
+	b.decRecordInterest(n, ci)
 }
 
 // insertNodeCirc inserts ci into node n's sorted circuit list.
-func (s *Simulator) insertNodeCirc(n netlist.NodeID, ci CircuitID) {
-	l := s.nodeCircs[n]
+func (b *FaultBatch) insertNodeCirc(n netlist.NodeID, ci CircuitID) {
+	l := b.nodeCircs[n]
 	i := sort.Search(len(l), func(k int) bool { return l[k] >= ci })
 	l = append(l, 0)
 	copy(l[i+1:], l[i:])
 	l[i] = ci
-	s.nodeCircs[n] = l
+	b.nodeCircs[n] = l
 }
 
 // removeNodeCirc removes ci from node n's sorted circuit list.
-func (s *Simulator) removeNodeCirc(n netlist.NodeID, ci CircuitID) {
-	l := s.nodeCircs[n]
+func (b *FaultBatch) removeNodeCirc(n netlist.NodeID, ci CircuitID) {
+	l := b.nodeCircs[n]
 	i := sort.Search(len(l), func(k int) bool { return l[k] >= ci })
 	if i < len(l) && l[i] == ci {
-		s.nodeCircs[n] = append(l[:i], l[i+1:]...)
+		b.nodeCircs[n] = append(l[:i], l[i+1:]...)
 	}
 }
 
 // dropCircuit purges every record and interest registration of circuit ci;
 // it will never be simulated again. O(size of the circuit's state), per
 // the paper's fault dropping.
-func (s *Simulator) dropCircuit(ci CircuitID) {
-	fs := s.faults[ci-1]
+func (b *FaultBatch) dropCircuit(ci CircuitID) {
+	fs := b.faults[ci-1]
 	for _, n := range fs.recs.nodes {
-		s.removeNodeCirc(n, ci)
-		s.decRecordInterest(n, ci)
+		b.removeNodeCirc(n, ci)
+		b.decRecordInterest(n, ci)
 	}
 	fs.recs.release()
-	for i := range fs.recBits {
-		fs.recBits[i] = 0
-	}
 	for _, n := range fs.sites {
-		s.decInterest(n, ci)
+		b.decInterest(n, ci)
 	}
 	fs.dropped = true
-	s.stats.LiveFaults--
+	b.live--
 }
 
 // CheckInvariants verifies the bidirectional consistency of the record
-// stores and the interest index; it is exported for tests and costs
-// O(faults × records), so production loops should not call it per setting.
-func (s *Simulator) CheckInvariants() error { return s.checkRecordInvariants() }
+// stores and the interest index, and that every worker scratch mirror
+// matches the pre-step state exactly. Exported for tests; costs
+// O(faults × records).
+func (b *FaultBatch) CheckInvariants() error { return b.checkRecordInvariants() }
 
 // checkRecordInvariants verifies the bidirectional consistency of the
 // record stores and interest index; used by tests.
-func (s *Simulator) checkRecordInvariants() error {
+func (b *FaultBatch) checkRecordInvariants() error {
 	// Every per-circuit record appears in the per-node list and vice
 	// versa, and the per-circuit stores are sorted.
-	for fi, fs := range s.faults {
+	for fi, fs := range b.faults {
 		ci := CircuitID(fi + 1)
 		if !sort.SliceIsSorted(fs.recs.nodes, func(a, b int) bool {
 			return fs.recs.nodes[a] < fs.recs.nodes[b]
@@ -134,45 +129,63 @@ func (s *Simulator) checkRecordInvariants() error {
 			return errf("circuit %d record store unsorted", ci)
 		}
 		for _, n := range fs.recs.nodes {
-			l := s.nodeCircs[n]
+			l := b.nodeCircs[n]
 			i := sort.Search(len(l), func(k int) bool { return l[k] >= ci })
 			if i >= len(l) || l[i] != ci {
-				return errf("record (%d,%s) missing from node list", ci, s.nw.Name(n))
+				return errf("record (%d,%s) missing from node list", ci, b.nw.Name(n))
 			}
 		}
 	}
-	for n := range s.nodeCircs {
-		for _, ci := range s.nodeCircs[n] {
-			fs := s.faults[ci-1]
+	for n := range b.nodeCircs {
+		for _, ci := range b.nodeCircs[n] {
+			fs := b.faults[ci-1]
 			if fs.dropped {
-				return errf("dropped circuit %d still on node %s", ci, s.nw.Name(netlist.NodeID(n)))
+				return errf("dropped circuit %d still on node %s", ci, b.nw.Name(netlist.NodeID(n)))
 			}
 			if _, ok := fs.recs.get(netlist.NodeID(n)); !ok {
-				return errf("node list entry (%d,%s) has no record", ci, s.nw.Name(netlist.NodeID(n)))
+				return errf("node list entry (%d,%s) has no record", ci, b.nw.Name(netlist.NodeID(n)))
 			}
 		}
-		if !sort.SliceIsSorted(s.nodeCircs[n], func(a, b int) bool {
-			return s.nodeCircs[n][a] < s.nodeCircs[n][b]
+		if !sort.SliceIsSorted(b.nodeCircs[n], func(x, y int) bool {
+			return b.nodeCircs[n][x] < b.nodeCircs[n][y]
 		}) {
-			return errf("node %s circuit list unsorted", s.nw.Name(netlist.NodeID(n)))
+			return errf("node %s circuit list unsorted", b.nw.Name(netlist.NodeID(n)))
 		}
 	}
-	// Worker scratch circuits must mirror the pre-step state exactly: the
-	// undo-log revert leaves no residue.
-	for wi, w := range s.workers {
-		if !w.scratch.StateEquals(s.prev) {
+	// The live counter matches a fresh scan.
+	liveScan := 0
+	for _, fs := range b.faults {
+		if !fs.dropped {
+			liveScan++
+		}
+	}
+	if liveScan != b.live {
+		return errf("live counter %d, scan finds %d", b.live, liveScan)
+	}
+	// Worker scratch circuits must mirror the pre-step state exactly
+	// once caught up on the delta log: the undo-log revert leaves no
+	// residue. The pooled record bitmaps must be fully cleared between
+	// circuits.
+	for wi, w := range b.workers {
+		w.catchUp()
+		if !w.scratch.StateEquals(b.prev) {
 			return errf("worker %d scratch is not a mirror of prev", wi)
+		}
+		for _, word := range w.recBits {
+			if word != 0 {
+				return errf("worker %d pooled record bitmap not cleared", wi)
+			}
 		}
 	}
 	// Interest refcounts match the independently recomputed counts.
-	want := make([]map[CircuitID]int32, s.nw.NumNodes())
+	want := make([]map[CircuitID]int32, b.nw.NumNodes())
 	bump := func(n netlist.NodeID, ci CircuitID) {
 		if want[n] == nil {
 			want[n] = make(map[CircuitID]int32)
 		}
 		want[n][ci]++
 	}
-	for fi, fs := range s.faults {
+	for fi, fs := range b.faults {
 		ci := CircuitID(fi + 1)
 		if fs.dropped {
 			continue
@@ -181,26 +194,26 @@ func (s *Simulator) checkRecordInvariants() error {
 			bump(n, ci)
 		}
 		for _, n := range fs.recs.nodes {
-			s.recordInterestNodes(n, func(m netlist.NodeID) { bump(m, ci) })
+			b.recordInterestNodes(n, func(m netlist.NodeID) { bump(m, ci) })
 		}
 	}
-	for n := range s.interest {
-		for _, e := range s.interest[n] {
+	for n := range b.interest {
+		for _, e := range b.interest[n] {
 			if want[n] == nil || want[n][e.ci] != e.count {
-				return errf("interest[%s][%d]=%d, want %d", s.nw.Name(netlist.NodeID(n)), e.ci, e.count, want[n][e.ci])
+				return errf("interest[%s][%d]=%d, want %d", b.nw.Name(netlist.NodeID(n)), e.ci, e.count, want[n][e.ci])
 			}
 		}
 		if want[n] != nil {
 			for ci, count := range want[n] {
-				if i, ok := s.interest[n].find(ci); !ok || s.interest[n][i].count != count {
-					return errf("interest[%s][%d] missing or wrong, want %d", s.nw.Name(netlist.NodeID(n)), ci, count)
+				if i, ok := b.interest[n].find(ci); !ok || b.interest[n][i].count != count {
+					return errf("interest[%s][%d] missing or wrong, want %d", b.nw.Name(netlist.NodeID(n)), ci, count)
 				}
 			}
 		}
-		if !sort.SliceIsSorted(s.interest[n], func(a, b int) bool {
-			return s.interest[n][a].ci < s.interest[n][b].ci
+		if !sort.SliceIsSorted(b.interest[n], func(x, y int) bool {
+			return b.interest[n][x].ci < b.interest[n][y].ci
 		}) {
-			return errf("node %s interest list unsorted", s.nw.Name(netlist.NodeID(n)))
+			return errf("node %s interest list unsorted", b.nw.Name(netlist.NodeID(n)))
 		}
 	}
 	return nil

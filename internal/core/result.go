@@ -64,14 +64,14 @@ type Result struct {
 	GoodNS, FaultNS     int64
 }
 
-func (r *Result) finish(s *Simulator) {
+func (r *Result) finish(b *FaultBatch) {
 	for _, ps := range r.PerPattern {
 		r.GoodWork += ps.GoodWork
 		r.FaultWork += ps.FaultWork
 		r.GoodNS += ps.GoodNS
 		r.FaultNS += ps.FaultNS
 	}
-	for _, fs := range s.faults {
+	for _, fs := range b.faults {
 		if fs.detected {
 			r.Detected++
 			if fs.det.Hard {

@@ -2,6 +2,7 @@ package fault_test
 
 import (
 	"bytes"
+	"fmt"
 	"math/rand"
 	"strings"
 	"testing"
@@ -44,6 +45,9 @@ func TestKindStrings(t *testing.T) {
 	}
 	if !fault.NodeStuck0.IsNodeFault() || fault.Bridge.IsNodeFault() {
 		t.Error("IsNodeFault misclassifies")
+	}
+	if got := fault.Kind(200).String(); got != "Kind(200)" {
+		t.Errorf("unknown Kind prints %q", got)
 	}
 }
 
@@ -215,13 +219,45 @@ func TestListErrors(t *testing.T) {
 }
 
 func TestDescribe(t *testing.T) {
-	nw, short, _ := testNet()
+	nw, short, wire := testNet()
 	f := fault.Fault{Kind: fault.NodeStuck0, Node: nw.MustLookup("o1")}
 	if got := f.Describe(nw); got != "o1 sa0" {
 		t.Errorf("Describe = %q", got)
 	}
 	f = fault.Fault{Kind: fault.Bridge, Trans: short}
-	if got := f.Describe(nw); !strings.Contains(got, "short o1/o2") {
+	if got := f.Describe(nw); !strings.Contains(got, "short o1/o2") || !strings.Contains(got, "(short)") {
 		t.Errorf("bridge Describe = %q", got)
+	}
+	f = fault.Fault{Kind: fault.Open, Trans: wire}
+	if got := f.Describe(nw); !strings.Contains(got, "open o2/pad") || !strings.Contains(got, "(wire)") {
+		t.Errorf("open Describe = %q", got)
+	}
+	// Transistor stuck faults use the plain "label kind" form.
+	f = fault.Fault{Kind: fault.TransStuckOpen, Trans: short}
+	if got := f.Describe(nw); !strings.Contains(got, "stuck-open") {
+		t.Errorf("stuck-open Describe = %q", got)
+	}
+}
+
+// TestDescribeUnlabeledTransistor covers the t<N> fallback for fault
+// transistors built without a label.
+func TestDescribeUnlabeledTransistor(t *testing.T) {
+	b := netlist.NewBuilder(logic.Scale{Sizes: 2, Strengths: 3})
+	a := b.Input("a", logic.Lo)
+	o1 := b.Node("o1")
+	o2 := b.Node("o2")
+	gates.NInv(b, a, o1, "i1")
+	gates.NInv(b, a, o2, "i2")
+	short := b.BridgeCandidate(o1, o2, "")
+	nw := b.Finalize()
+
+	f := fault.Fault{Kind: fault.Bridge, Trans: short}
+	want := fmt.Sprintf("short o1/o2 (t%d)", short)
+	if got := f.Describe(nw); got != want {
+		t.Errorf("unlabeled bridge Describe = %q, want %q", got, want)
+	}
+	f = fault.Fault{Kind: fault.Open, Trans: short}
+	if got := f.Describe(nw); !strings.HasPrefix(got, "open o1/o2") {
+		t.Errorf("unlabeled open Describe = %q", got)
 	}
 }

@@ -1,0 +1,352 @@
+// The good-circuit trajectory as a first-class artifact.
+//
+// A Solver's per-settle Trajectory is borrowed scratch: it is overwritten
+// by the next recording settle. A Recording promotes the full good-circuit
+// run — the power-on initialization plus one StepTrace per input setting —
+// to an owned, serializable value. Capturing it once decouples good-circuit
+// simulation from faulty-circuit execution: any number of fault batches can
+// replay the same Recording (adopting its trajectories, syncing their
+// mirrors from its deltas, diffing against its change sets) without ever
+// re-running the good-circuit solver.
+package switchsim
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"slices"
+
+	"fmossim/internal/logic"
+	"fmossim/internal/netlist"
+)
+
+// StepTrace is the complete record of one good-circuit step — the power-on
+// initialization or one input setting — carrying everything a faulty-batch
+// consumer needs to execute the step without a good-circuit solver:
+//
+//   - InputChanges re-applies the setting to the consumer's mirrors
+//     (assignments that matched the previous value are dropped: they
+//     perturb nothing in any circuit, faulty ones included);
+//   - Changed syncs the consumer's good-state and pre-step mirrors;
+//   - Explored drives activity scheduling (the touched region);
+//   - Traj is the settle trajectory faulty replays adopt from.
+type StepTrace struct {
+	// Init marks the power-on initialization step (Steps[0] of a
+	// Recording): every storage node is perturbed and every fault active.
+	Init bool
+	// InputChanges lists the input nodes whose value changed this step,
+	// with the new values.
+	InputChanges []Change
+	// Changed lists the storage nodes whose value changed during the
+	// settle, with their post-step values.
+	Changed []Change
+	// Explored lists every storage node that was a member of any solved
+	// vicinity (a superset of the Changed nodes).
+	Explored []netlist.NodeID
+	// Oscillated reports the settle hit the round limit; the trajectory is
+	// then unreliable as an adoption oracle and consumers must fall back
+	// to full replays for this step.
+	Oscillated bool
+	// Traj is the recorded settle trajectory (nil when not recorded or
+	// when borrowed live from a non-recording path).
+	Traj *Trajectory
+	// GoodWork and GoodNS are the solver work units and wall-clock
+	// nanoseconds the good-circuit settle consumed.
+	GoodWork int64
+	GoodNS   int64
+}
+
+// Recording is the captured good-circuit trajectory of an entire test
+// sequence: Steps[0] is the initialization, Steps[1:] one entry per input
+// setting in sequence order. It is immutable once captured and safe for
+// concurrent replay by any number of consumers.
+type Recording struct {
+	// NumNodes and NumTransistors fingerprint the network the recording
+	// was captured over; consumers refuse mismatched networks.
+	NumNodes, NumTransistors int
+	// Steps holds the per-step traces, initialization first.
+	Steps []StepTrace
+}
+
+// NewRecording returns an empty recording fingerprinted for nw.
+func NewRecording(nw *netlist.Network) *Recording {
+	return &Recording{NumNodes: nw.NumNodes(), NumTransistors: nw.NumTransistors()}
+}
+
+// NumSettings returns the number of recorded input settings (the
+// initialization step excluded).
+func (r *Recording) NumSettings() int {
+	if len(r.Steps) == 0 {
+		return 0
+	}
+	return len(r.Steps) - 1
+}
+
+// GoodWork returns the total good-circuit solver work units captured in
+// the recording, initialization included.
+func (r *Recording) GoodWork() int64 {
+	var t int64
+	for i := range r.Steps {
+		t += r.Steps[i].GoodWork
+	}
+	return t
+}
+
+// Validate checks the recording against a network fingerprint and an
+// expected setting count (pass -1 to skip the count check).
+func (r *Recording) Validate(nw *netlist.Network, settings int) error {
+	if r.NumNodes != nw.NumNodes() || r.NumTransistors != nw.NumTransistors() {
+		return fmt.Errorf("switchsim: recording fingerprint %d nodes/%d transistors does not match network (%d/%d)",
+			r.NumNodes, r.NumTransistors, nw.NumNodes(), nw.NumTransistors())
+	}
+	if len(r.Steps) == 0 || !r.Steps[0].Init {
+		return fmt.Errorf("switchsim: recording has no initialization step")
+	}
+	if settings >= 0 && r.NumSettings() != settings {
+		return fmt.Errorf("switchsim: recording has %d settings, sequence needs %d", r.NumSettings(), settings)
+	}
+	return nil
+}
+
+// Append deep-copies a borrowed step trace (whose slices alias solver
+// scratch) into the recording. The trajectory is cloned only when usable:
+// an oscillated step's trajectory is never adopted, so it is dropped.
+func (r *Recording) Append(t *StepTrace) {
+	st := StepTrace{
+		Init:         t.Init,
+		InputChanges: slices.Clone(t.InputChanges),
+		Changed:      slices.Clone(t.Changed),
+		Explored:     slices.Clone(t.Explored),
+		Oscillated:   t.Oscillated,
+		GoodWork:     t.GoodWork,
+		GoodNS:       t.GoodNS,
+	}
+	if t.Traj != nil && !t.Oscillated {
+		st.Traj = t.Traj.Clone()
+	}
+	r.Steps = append(r.Steps, st)
+}
+
+// Clone returns an owned deep copy of the trajectory, decoupled from the
+// recording solver's reusable storage.
+func (tr *Trajectory) Clone() *Trajectory {
+	out := &Trajectory{rounds: make([][]VicTrace, len(tr.rounds))}
+	for i, round := range tr.rounds {
+		rr := make([]VicTrace, len(round))
+		for j, vt := range round {
+			rr[j] = VicTrace{
+				Members: slices.Clone(vt.Members),
+				Changes: slices.Clone(vt.Changes),
+			}
+		}
+		out.rounds[i] = rr
+	}
+	return out
+}
+
+// Serialization: a compact varint-framed binary format, so a trajectory
+// captured on one machine (or in one process) can be stored and replayed
+// by later fault campaigns without re-simulating the good circuit.
+
+// recordingMagic versions the on-disk format.
+const recordingMagic = "FMOSREC1"
+
+const (
+	flagInit byte = 1 << iota
+	flagOscillated
+	flagTraj
+)
+
+// Encode writes the recording in the versioned binary format.
+func (r *Recording) Encode(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(recordingMagic); err != nil {
+		return err
+	}
+	putUvarint(bw, uint64(r.NumNodes))
+	putUvarint(bw, uint64(r.NumTransistors))
+	putUvarint(bw, uint64(len(r.Steps)))
+	for i := range r.Steps {
+		st := &r.Steps[i]
+		var flags byte
+		if st.Init {
+			flags |= flagInit
+		}
+		if st.Oscillated {
+			flags |= flagOscillated
+		}
+		if st.Traj != nil {
+			flags |= flagTraj
+		}
+		bw.WriteByte(flags)
+		putUvarint(bw, uint64(st.GoodWork))
+		putUvarint(bw, uint64(st.GoodNS))
+		putChanges(bw, st.InputChanges)
+		putChanges(bw, st.Changed)
+		putUvarint(bw, uint64(len(st.Explored)))
+		for _, n := range st.Explored {
+			putUvarint(bw, uint64(n))
+		}
+		if st.Traj != nil {
+			putUvarint(bw, uint64(len(st.Traj.rounds)))
+			for _, round := range st.Traj.rounds {
+				putUvarint(bw, uint64(len(round)))
+				for _, vt := range round {
+					putUvarint(bw, uint64(len(vt.Members)))
+					for _, n := range vt.Members {
+						putUvarint(bw, uint64(n))
+					}
+					putChanges(bw, vt.Changes)
+				}
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// DecodeRecording reads a recording previously written by Encode.
+func DecodeRecording(r io.Reader) (*Recording, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, len(recordingMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("switchsim: reading recording header: %w", err)
+	}
+	if string(magic) != recordingMagic {
+		return nil, fmt.Errorf("switchsim: not a recording (bad magic %q)", magic)
+	}
+	d := &decoder{br: br}
+	rec := &Recording{
+		NumNodes:       int(d.uvarint()),
+		NumTransistors: int(d.uvarint()),
+	}
+	nSteps := int(d.uvarint())
+	if d.err == nil && (nSteps < 0 || nSteps > 1<<28) {
+		return nil, fmt.Errorf("switchsim: recording step count %d out of range", nSteps)
+	}
+	maxNode := uint64(rec.NumNodes)
+	// Preallocation is bounded: a corrupt header must not provoke a huge
+	// up-front allocation; append grows the rest incrementally while the
+	// decoder validates each step.
+	rec.Steps = make([]StepTrace, 0, min(nSteps, 4096))
+	for i := 0; i < nSteps && d.err == nil; i++ {
+		flags := d.byte()
+		st := StepTrace{
+			Init:       flags&flagInit != 0,
+			Oscillated: flags&flagOscillated != 0,
+			GoodWork:   int64(d.uvarint()),
+			GoodNS:     int64(d.uvarint()),
+		}
+		st.InputChanges = d.changes(maxNode)
+		st.Changed = d.changes(maxNode)
+		st.Explored = d.nodes(maxNode)
+		if flags&flagTraj != 0 {
+			nRounds := int(d.uvarint())
+			traj := &Trajectory{}
+			for r := 0; r < nRounds && d.err == nil; r++ {
+				nVics := int(d.uvarint())
+				var round []VicTrace
+				for v := 0; v < nVics && d.err == nil; v++ {
+					round = append(round, VicTrace{
+						Members: d.nodes(maxNode),
+						Changes: d.changes(maxNode),
+					})
+				}
+				traj.rounds = append(traj.rounds, round)
+			}
+			st.Traj = traj
+		}
+		rec.Steps = append(rec.Steps, st)
+	}
+	if d.err != nil {
+		return nil, fmt.Errorf("switchsim: decoding recording: %w", d.err)
+	}
+	return rec, nil
+}
+
+func putUvarint(bw *bufio.Writer, v uint64) {
+	var buf [binary.MaxVarintLen64]byte
+	bw.Write(buf[:binary.PutUvarint(buf[:], v)])
+}
+
+func putChanges(bw *bufio.Writer, chs []Change) {
+	putUvarint(bw, uint64(len(chs)))
+	for _, ch := range chs {
+		putUvarint(bw, uint64(ch.Node))
+		bw.WriteByte(byte(ch.Value))
+	}
+}
+
+// decoder wraps the varint reads with sticky error handling and node-range
+// validation.
+type decoder struct {
+	br  *bufio.Reader
+	err error
+}
+
+func (d *decoder) uvarint() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, err := binary.ReadUvarint(d.br)
+	if err != nil {
+		d.err = err
+	}
+	return v
+}
+
+func (d *decoder) byte() byte {
+	if d.err != nil {
+		return 0
+	}
+	b, err := d.br.ReadByte()
+	if err != nil {
+		d.err = err
+	}
+	return b
+}
+
+func (d *decoder) node(maxNode uint64) netlist.NodeID {
+	v := d.uvarint()
+	if d.err == nil && v >= maxNode {
+		d.err = fmt.Errorf("node id %d out of range (%d nodes)", v, maxNode)
+	}
+	return netlist.NodeID(v)
+}
+
+func (d *decoder) nodes(maxNode uint64) []netlist.NodeID {
+	n := int(d.uvarint())
+	if d.err != nil || n == 0 {
+		return nil
+	}
+	if uint64(n) > maxNode {
+		d.err = fmt.Errorf("node list length %d exceeds node count %d", n, maxNode)
+		return nil
+	}
+	out := make([]netlist.NodeID, 0, n)
+	for i := 0; i < n && d.err == nil; i++ {
+		out = append(out, d.node(maxNode))
+	}
+	return out
+}
+
+func (d *decoder) changes(maxNode uint64) []Change {
+	n := int(d.uvarint())
+	if d.err != nil || n == 0 {
+		return nil
+	}
+	if uint64(n) > maxNode {
+		d.err = fmt.Errorf("change list length %d exceeds node count %d", n, maxNode)
+		return nil
+	}
+	out := make([]Change, 0, n)
+	for i := 0; i < n && d.err == nil; i++ {
+		node := d.node(maxNode)
+		v := logic.Value(d.byte())
+		if d.err == nil && v > logic.X {
+			d.err = fmt.Errorf("bad logic value %d", v)
+		}
+		out = append(out, Change{Node: node, Value: v})
+	}
+	return out
+}
