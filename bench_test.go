@@ -6,6 +6,7 @@
 package fmossim_test
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"testing"
@@ -168,7 +169,7 @@ func BenchmarkCampaign_RAM256(b *testing.B) {
 		b.Run(cfg.name, func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
-				res, err := campaign.Run(m.Net, faults, seq, campaign.Options{
+				res, err := campaign.Run(context.Background(), m.Net, faults, seq, campaign.Options{
 					Sim:       core.Options{Observe: []netlist.NodeID{m.DataOut}, Workers: 1},
 					BatchSize: cfg.batchSize,
 					Shards:    2,

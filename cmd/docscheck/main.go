@@ -1,0 +1,159 @@
+// Command docscheck verifies intra-repository markdown links: every
+// relative link target must exist on disk, and every fragment must match
+// a heading in the target document. External (http/https/mailto) links
+// are ignored — CI must not depend on the network.
+//
+// Usage:
+//
+//	docscheck README.md DESIGN.md EXPERIMENTS.md
+//	docscheck            # checks every *.md in the current directory
+//
+// Exits non-zero listing each dead link as FILE:LINE: message.
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+)
+
+// linkRe matches inline markdown links [text](target); images share the
+// syntax with a leading "!", which the pattern also accepts.
+var linkRe = regexp.MustCompile(`\[[^\]]*\]\(([^)\s]+)(?:\s+"[^"]*")?\)`)
+
+// headingRe matches ATX headings.
+var headingRe = regexp.MustCompile(`^#{1,6}\s+(.*?)\s*#*\s*$`)
+
+func main() {
+	files := os.Args[1:]
+	if len(files) == 0 {
+		var err error
+		files, err = filepath.Glob("*.md")
+		if err != nil || len(files) == 0 {
+			fmt.Fprintln(os.Stderr, "docscheck: no markdown files found")
+			os.Exit(2)
+		}
+	}
+
+	bad := 0
+	for _, f := range files {
+		for _, problem := range checkFile(f) {
+			fmt.Println(problem)
+			bad++
+		}
+	}
+	if bad > 0 {
+		fmt.Fprintf(os.Stderr, "docscheck: %d dead link(s)\n", bad)
+		os.Exit(1)
+	}
+	fmt.Printf("docscheck: %d file(s) clean\n", len(files))
+}
+
+func checkFile(path string) []string {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return []string{fmt.Sprintf("%s: %v", path, err)}
+	}
+	var problems []string
+	dir := filepath.Dir(path)
+	inFence := false
+	sc := bufio.NewScanner(strings.NewReader(string(data)))
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if strings.HasPrefix(strings.TrimSpace(line), "```") {
+			inFence = !inFence
+			continue
+		}
+		if inFence {
+			continue
+		}
+		for _, match := range linkRe.FindAllStringSubmatch(line, -1) {
+			target := match[1]
+			if msg := checkLink(dir, path, target); msg != "" {
+				problems = append(problems, fmt.Sprintf("%s:%d: %s", path, lineNo, msg))
+			}
+		}
+	}
+	return problems
+}
+
+// checkLink validates one link target relative to the source document.
+func checkLink(dir, src, target string) string {
+	if strings.Contains(target, "://") || strings.HasPrefix(target, "mailto:") {
+		return "" // external: not checked
+	}
+	file, frag, _ := strings.Cut(target, "#")
+	resolved := src
+	if file != "" {
+		resolved = filepath.Join(dir, file)
+		info, err := os.Stat(resolved)
+		if err != nil {
+			return fmt.Sprintf("dead link %q: %s does not exist", target, resolved)
+		}
+		if info.IsDir() || frag == "" {
+			return ""
+		}
+	}
+	if frag == "" {
+		return ""
+	}
+	if !strings.HasSuffix(strings.ToLower(resolved), ".md") {
+		return "" // fragments only verifiable in markdown
+	}
+	anchors, err := headingAnchors(resolved)
+	if err != nil {
+		return fmt.Sprintf("dead link %q: %v", target, err)
+	}
+	if !anchors[strings.ToLower(frag)] {
+		return fmt.Sprintf("dead anchor %q: no heading #%s in %s", target, frag, resolved)
+	}
+	return ""
+}
+
+// headingAnchors collects the GitHub-style anchor slugs of a document's
+// headings: lowercase, punctuation stripped, spaces to hyphens.
+func headingAnchors(path string) (map[string]bool, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	anchors := map[string]bool{}
+	inFence := false
+	for _, line := range strings.Split(string(data), "\n") {
+		if strings.HasPrefix(strings.TrimSpace(line), "```") {
+			inFence = !inFence
+			continue
+		}
+		if inFence {
+			continue
+		}
+		m := headingRe.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		anchors[slugify(m[1])] = true
+	}
+	return anchors, nil
+}
+
+func slugify(heading string) string {
+	// Strip inline code/link markup, then slug.
+	heading = regexp.MustCompile("`([^`]*)`").ReplaceAllString(heading, "$1")
+	heading = regexp.MustCompile(`\[([^\]]*)\]\([^)]*\)`).ReplaceAllString(heading, "$1")
+	var b strings.Builder
+	for _, r := range strings.ToLower(heading) {
+		switch {
+		case r >= 'a' && r <= 'z' || r >= '0' && r <= '9' || r == '_':
+			b.WriteRune(r) // GitHub keeps underscores in anchors
+		case r == ' ' || r == '-':
+			b.WriteRune('-')
+		}
+	}
+	return b.String()
+}

@@ -25,16 +25,17 @@
 package main
 
 import (
-	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 
 	"fmossim/internal/campaign"
 	"fmossim/internal/core"
 	"fmossim/internal/fault"
-	"fmossim/internal/logic"
 	"fmossim/internal/netlist"
 	"fmossim/internal/switchsim"
 )
@@ -91,7 +92,11 @@ func main() {
 
 	detected := func(int) (core.Detection, bool) { return core.Detection{}, false }
 	if *batch > 0 || *shards > 0 || *coverageTarget > 0 || *checkpoint != "" {
-		res, err := campaign.Run(nw, faults, seq, campaign.Options{
+		// Interrupting a campaign cancels it cooperatively; completed
+		// batches stay in the checkpoint (if any) for the next resume.
+		ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+		defer cancel()
+		res, err := campaign.Run(ctx, nw, faults, seq, campaign.Options{
 			Sim:            opts,
 			BatchSize:      *batch,
 			Shards:         *shards,
@@ -143,61 +148,17 @@ func readNet(path string) *netlist.Network {
 	return nw
 }
 
-// readPatterns parses the pattern script.
+// readPatterns parses the pattern script (format: switchsim.ParseSequence).
 func readPatterns(path string, nw *netlist.Network) *switchsim.Sequence {
 	f, err := os.Open(path)
 	if err != nil {
 		fatal(err)
 	}
 	defer f.Close()
-
-	seq := &switchsim.Sequence{Name: path}
-	cur := &switchsim.Pattern{Name: "p0"}
-	flush := func() {
-		if len(cur.Settings) > 0 {
-			seq.Patterns = append(seq.Patterns, *cur)
-		}
-	}
-	sc := bufio.NewScanner(f)
-	lineNo := 0
-	for sc.Scan() {
-		lineNo++
-		line := strings.TrimSpace(sc.Text())
-		if line == "" || strings.HasPrefix(line, "|") || strings.HasPrefix(line, "#") {
-			continue
-		}
-		fields := strings.Fields(line)
-		if fields[0] == "pattern" {
-			flush()
-			name := fmt.Sprintf("p%d", len(seq.Patterns))
-			if len(fields) > 1 {
-				name = fields[1]
-			}
-			cur = &switchsim.Pattern{Name: name}
-			continue
-		}
-		var set switchsim.Setting
-		for _, tok := range fields {
-			eq := strings.IndexByte(tok, '=')
-			if eq < 0 {
-				fatal(fmt.Errorf("%s:%d: expected name=value, got %q", path, lineNo, tok))
-			}
-			id := nw.Lookup(tok[:eq])
-			if id == netlist.NoNode {
-				fatal(fmt.Errorf("%s:%d: unknown node %q", path, lineNo, tok[:eq]))
-			}
-			v, err := logic.ParseValue(tok[eq+1:])
-			if err != nil {
-				fatal(fmt.Errorf("%s:%d: %v", path, lineNo, err))
-			}
-			set = append(set, switchsim.Assignment{Node: id, Value: v})
-		}
-		cur.Settings = append(cur.Settings, set)
-	}
-	if err := sc.Err(); err != nil {
+	seq, err := switchsim.ParseSequence(f, path, nw)
+	if err != nil {
 		fatal(err)
 	}
-	flush()
 	return seq
 }
 

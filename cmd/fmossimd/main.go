@@ -1,0 +1,88 @@
+// Command fmossimd is the concurrent campaign job server: a long-running
+// HTTP daemon that accepts fault-campaign submissions, runs them over a
+// bounded worker pool with shared tables and recorded good-circuit
+// trajectories, and streams progress as NDJSON.
+//
+// Usage:
+//
+//	fmossimd -addr :8458 -max-jobs 4 -queue 32
+//
+// API (see internal/server for the full contract):
+//
+//	POST   /jobs             submit a campaign (JSON JobSpec)
+//	GET    /jobs             list jobs
+//	GET    /jobs/{id}        job status (+ result when done)
+//	GET    /jobs/{id}/stream NDJSON progress stream
+//	DELETE /jobs/{id}        cancel (live) / remove (terminal)
+//	GET    /healthz          liveness probe
+//
+// Example session:
+//
+//	fmossimd -addr :8458 &
+//	curl -s :8458/jobs -d '{"workload":"ram64","sample_every":4}'
+//	curl -sN :8458/jobs/job-1/stream
+//
+// A saturated server (max-jobs running, queue full) answers POST /jobs
+// with 429 Too Many Requests and a Retry-After header. SIGINT/SIGTERM
+// cancel every job cooperatively and drain the pool before exit.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"fmossim/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", ":8458", "listen address")
+	maxJobs := flag.Int("max-jobs", 2, "campaigns running concurrently")
+	queue := flag.Int("queue", 16, "queued (accepted, not started) jobs before shedding with 429")
+	retryAfter := flag.Duration("retry-after", time.Second, "Retry-After hint on 429 responses")
+	streamInterval := flag.Duration("stream-interval", 100*time.Millisecond, "minimum spacing between streamed snapshots")
+	keepTerminal := flag.Int("keep-terminal", 64, "finished jobs retained for status queries before eviction")
+	flag.Parse()
+
+	mgr := server.NewManager(server.Config{
+		MaxJobs:        *maxJobs,
+		QueueDepth:     *queue,
+		RetryAfter:     *retryAfter,
+		StreamInterval: *streamInterval,
+		KeepTerminal:   *keepTerminal,
+	})
+	srv := &http.Server{Addr: *addr, Handler: mgr.Handler()}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	shutdownDone := make(chan struct{})
+	go func() {
+		defer close(shutdownDone)
+		<-ctx.Done()
+		fmt.Fprintln(os.Stderr, "fmossimd: shutting down")
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		srv.Shutdown(shutdownCtx)
+	}()
+
+	fmt.Fprintf(os.Stderr, "fmossimd: listening on %s (max %d concurrent jobs, queue %d)\n",
+		*addr, *maxJobs, *queue)
+	err := srv.ListenAndServe()
+	// ListenAndServe returns as soon as Shutdown is called; cancel and
+	// drain every job (which lets in-flight stream handlers write their
+	// terminal lines), then wait for Shutdown to finish those handlers
+	// off before exiting.
+	mgr.Close()
+	if !errors.Is(err, http.ErrServerClosed) && err != nil {
+		fmt.Fprintln(os.Stderr, "fmossimd:", err)
+		os.Exit(1)
+	}
+	stop()
+	<-shutdownDone
+}

@@ -1,0 +1,49 @@
+package fmossim_test
+
+import (
+	"fmt"
+
+	"fmossim"
+	"fmossim/internal/gates"
+)
+
+// Example builds an nMOS inverter chain, enumerates its stuck-at faults,
+// and runs the record-once / replay-batches campaign path end to end.
+func Example() {
+	b := fmossim.NewBuilder(fmossim.Scale{Sizes: 2, Strengths: 2})
+	in := b.Input("in", fmossim.Lo)
+	mid, out := b.Node("mid"), b.Node("out")
+	gates.NInv(b, in, mid, "inv1")
+	gates.NInv(b, mid, out, "inv2")
+	nw := b.Finalize()
+
+	seq := &fmossim.Sequence{Name: "toggle", Patterns: []fmossim.Pattern{{
+		Name: "p0",
+		Settings: []fmossim.Setting{
+			mustVector(nw, "in", fmossim.Lo),
+			mustVector(nw, "in", fmossim.Hi),
+		},
+	}}}
+
+	faults := fmossim.NodeStuckFaults(nw, fmossim.FaultOptions{})
+	rec := fmossim.RecordTrajectory(nw, seq, fmossim.FaultSimOptions{})
+	res, err := fmossim.Campaign(nw, faults, seq, fmossim.CampaignOptions{
+		Sim:       fmossim.FaultSimOptions{Observe: []fmossim.NodeID{nw.MustLookup("out")}},
+		BatchSize: 2,
+		Recording: rec,
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("coverage %.0f%% (%d/%d)\n", 100*res.Coverage(), res.Run.Detected, len(faults))
+	// Output:
+	// coverage 100% (4/4)
+}
+
+func mustVector(nw *fmossim.Network, name string, v fmossim.Value) fmossim.Setting {
+	set, err := fmossim.Vector(nw, map[string]fmossim.Value{name: v})
+	if err != nil {
+		panic(err)
+	}
+	return set
+}

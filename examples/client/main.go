@@ -1,0 +1,95 @@
+// fmossimd client: submit a campaign job and stream its progress.
+//
+// Start the server first, then run the client:
+//
+//	go run ./cmd/fmossimd -addr :8458 &
+//	go run ./examples/client -addr http://localhost:8458
+//
+// The client submits the paper's RAM64 workload (sampled for a quick
+// demo), follows the NDJSON progress stream line by line — coverage
+// snapshots and detection events — and prints the final result.
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+)
+
+func main() {
+	addr := flag.String("addr", "http://localhost:8458", "fmossimd base URL")
+	flag.Parse()
+
+	// 1. Submit: the paper's 8×8 RAM under test sequence 1, every 4th
+	// fault of the stuck-at universe.
+	spec := map[string]any{
+		"workload":     "ram64",
+		"sequence":     "sequence1",
+		"fault_model":  "stuck",
+		"sample_every": 4,
+		"batch_size":   16,
+	}
+	body, _ := json.Marshal(spec)
+	resp, err := http.Post(*addr+"/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		log.Fatal(err)
+	}
+	var snap struct {
+		ID        string `json:"id"`
+		State     string `json:"state"`
+		NumFaults int    `json:"num_faults"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		log.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		log.Fatalf("submit: %s", resp.Status)
+	}
+	fmt.Printf("submitted %s (%s)\n", snap.ID, snap.State)
+
+	// 2. Stream: one JSON object per line until the job is terminal.
+	stream, err := http.Get(*addr + "/jobs/" + snap.ID + "/stream")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer stream.Body.Close()
+	sc := bufio.NewScanner(stream.Body)
+	for sc.Scan() {
+		var line struct {
+			Type     string  `json:"type"`
+			State    string  `json:"state"`
+			Coverage float64 `json:"coverage"`
+			Detected int     `json:"detected"`
+			Faults   []int   `json:"faults"`
+			Pattern  int     `json:"pattern"`
+			Result   *struct {
+				Coverage  float64 `json:"coverage"`
+				Detected  int     `json:"detected"`
+				NumFaults int     `json:"num_faults"`
+				WallNS    int64   `json:"wall_ns"`
+			} `json:"result"`
+		}
+		if err := json.Unmarshal(sc.Bytes(), &line); err != nil {
+			log.Fatalf("bad stream line %q: %v", sc.Text(), err)
+		}
+		switch line.Type {
+		case "snapshot":
+			fmt.Printf("  %-8s coverage %5.1f%% (%d detected)\n",
+				line.State, 100*line.Coverage, line.Detected)
+		case "detections":
+			fmt.Printf("  pattern %4d: %d new detections\n", line.Pattern, len(line.Faults))
+		case "result":
+			fmt.Printf("done: coverage %.1f%% (%d/%d) in %.0f ms\n",
+				100*line.Result.Coverage, line.Result.Detected,
+				line.Result.NumFaults, float64(line.Result.WallNS)/1e6)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		log.Fatal(err)
+	}
+}

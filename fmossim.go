@@ -1,53 +1,9 @@
-// Package fmossim is a concurrent switch-level fault simulator for MOS
-// digital circuits: a from-scratch reproduction of FMOSSIM (Bryant &
-// Schuster, "Performance Evaluation of FMOSSIM, a Concurrent Switch-Level
-// Fault Simulator", 22nd Design Automation Conference, 1985).
-//
-// The library models circuits at the switch level: charge-storage nodes
-// with ternary states {0,1,X} and discrete sizes, connected by
-// bidirectional transistor switches (n/p/d types) with discrete strengths.
-// On top of the switch-level kernel it provides a logic simulator
-// (MOSSIM-II equivalent), fault models for the non-classical MOS failures
-// gate-level simulators cannot express (stuck-open/stuck-closed
-// transistors, shorted and open wires) alongside classical stuck-at
-// faults, a concurrent fault simulator whose cost scales with circuit
-// activity rather than fault count, a serial reference simulator, the
-// paper's dynamic-RAM benchmark circuits and marching-test generators, and
-// a harness regenerating every figure of the paper's evaluation.
-//
-// Quick start:
-//
-//	b := fmossim.NewBuilder(fmossim.Scale{Sizes: 2, Strengths: 2})
-//	in := b.Input("in", fmossim.Lo)
-//	out := b.Node("out")
-//	gates.NInv(b, in, out, "inv")
-//	nw := b.Finalize()
-//
-//	sim := fmossim.NewLogicSimulator(nw)
-//	sim.MustSet(map[string]fmossim.Value{"in": fmossim.Hi})
-//	fmt.Println(sim.Value("out")) // 0
-//
-//	faults := fmossim.NodeStuckFaults(nw, fmossim.FaultOptions{})
-//	fsim, _ := fmossim.NewFaultSimulator(nw, faults, fmossim.FaultSimOptions{
-//		Observe: []fmossim.NodeID{nw.MustLookup("out")},
-//	})
-//	res := fsim.Run(seq)
-//	fmt.Printf("coverage %.1f%%\n", 100*res.Coverage())
-//
-// For large fault universes, the campaign engine decouples the two sides:
-// RecordTrajectory captures the good circuit's run once as a serializable
-// Recording, and Campaign shards the fault list into batches that replay
-// it concurrently with pooled per-batch memory — bit-identical to the
-// monolithic simulator, with optional coverage-target early stop and
-// resumable checkpoints (see examples/campaign).
-//
-// See the examples directory (quickstart, ramtest, sampling, shorts,
-// stuckopen, campaign) for complete programs, DESIGN.md for the
-// architecture and execution engine, and bench_test.go plus cmd/benchtab
-// for the paper-reproduction experiments and their results.
+// Public facade: type aliases and constructors over the internal
+// packages. Package documentation lives in doc.go.
 package fmossim
 
 import (
+	"context"
 	"io"
 
 	"fmossim/internal/campaign"
@@ -195,6 +151,10 @@ type (
 	// CampaignCheckpoint is the resumable state of a partially completed
 	// campaign.
 	CampaignCheckpoint = campaign.Checkpoint
+	// CampaignProgress is one streaming progress event (see
+	// CampaignOptions.Progress): per-setting coverage, live-fault counts,
+	// and detection events, emitted concurrently from the shard pool.
+	CampaignProgress = campaign.ProgressEvent
 )
 
 // RecordTrajectory simulates only the good circuit through seq and
@@ -216,7 +176,15 @@ func DecodeRecording(r io.Reader) (*Recording, error) {
 // memory. Results are bit-identical to a monolithic FaultSimulator run
 // for every batch size, shard count, and worker count.
 func Campaign(nw *Network, faults []Fault, seq *Sequence, opts CampaignOptions) (*CampaignResult, error) {
-	return campaign.Run(nw, faults, seq, opts)
+	return campaign.Run(context.Background(), nw, faults, seq, opts)
+}
+
+// CampaignContext is Campaign with cooperative cancellation: cancelling
+// ctx stops in-flight batches between input settings and returns ctx's
+// error. Long-running services (cmd/fmossimd) use this form to cancel and
+// time-bound jobs.
+func CampaignContext(ctx context.Context, nw *Network, faults []Fault, seq *Sequence, opts CampaignOptions) (*CampaignResult, error) {
+	return campaign.Run(ctx, nw, faults, seq, opts)
 }
 
 // Serial reference simulation.

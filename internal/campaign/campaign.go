@@ -1,30 +1,9 @@
-// Package campaign is the sharded fault-campaign engine: it records the
-// good circuit's trajectory once, partitions the fault universe into
-// batches, replays each batch independently against the recording, and
-// merges the outcomes deterministically.
-//
-// This is the trajectory-decoupled execution model the FMOSSIM cost
-// analysis points at: the good circuit is simulated exactly once per
-// sequence (core.Record), and every fault batch pays only fault-side,
-// activity-proportional work. Because a batch's memory footprint scales
-// with its width (workers × nodes + live divergence) rather than with the
-// whole universe, a campaign can stream an arbitrarily large fault list
-// through bounded memory, run batches concurrently, stop early at a
-// coverage target, and resume from a checkpoint of completed batches.
-//
-// Determinism contract: each fault's simulation depends only on the
-// recorded trajectory and its own state, never on which batch hosts it or
-// which worker executes it. Batches are merged at input-setting
-// granularity in ascending fault order, so a campaign's detections,
-// final divergence records, and deterministic statistics (work units,
-// active-circuit counts, live counts) are bit-identical to a monolithic
-// core.Simulator run over the same fault list, for every batch size,
-// shard count, and worker count. Wall-clock fields are the only
-// exception. Early stop (CoverageTarget) intentionally breaks the
-// equivalence: skipped batches are reported, not simulated.
+// Campaign execution: sharding, the shard pool, progress fan-out, and
+// the deterministic merge. Package documentation lives in doc.go.
 package campaign
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"runtime"
@@ -66,10 +45,65 @@ type Options struct {
 	// simulation entirely. When nil, the trajectory is recorded first.
 	Recording *switchsim.Recording
 
+	// Tables, when non-nil, is a pre-built read-only table set over the
+	// campaign's network, shared by all batches (and, in a long-running
+	// service, across campaigns over the same circuit). When nil, tables
+	// are built per Run. Must have been built from the same Network.
+	Tables *switchsim.Tables
+
 	// CheckpointPath, when non-empty, makes the campaign resumable: the
 	// checkpoint file is loaded if present (completed batches are not
 	// re-simulated) and rewritten after every batch completion.
 	CheckpointPath string
+
+	// Progress, when non-nil, receives one ProgressEvent per simulated
+	// input setting of every batch plus one batch-completion event per
+	// batch. Events originate on the shard goroutines but are delivered
+	// one at a time (serialized under an internal lock, which is what
+	// makes the campaign-wide Detected counter monotonic across the
+	// delivered events): the callback need not be safe for concurrent
+	// use, but it must be fast — while it runs, no other shard can
+	// deliver progress. Progress never changes simulation results and is
+	// not part of the checkpoint fingerprint.
+	Progress func(ProgressEvent)
+}
+
+// ProgressEvent is one campaign progress report delivered to
+// Options.Progress, either after a batch simulated one input setting or
+// (BatchDone) when a batch finished. The campaign-wide Detected counter
+// is monotonically non-decreasing across the events any single campaign
+// emits, so a consumer can stream coverage as it converges.
+type ProgressEvent struct {
+	// Batch is the reporting batch's index; Pattern and Setting locate
+	// the setting it just simulated.
+	Batch   int `json:"batch"`
+	Pattern int `json:"pattern"`
+	Setting int `json:"setting"`
+	// ActiveCircuits and LiveFaults are the reporting batch's per-setting
+	// figures (activated faulty circuits; undropped faults).
+	ActiveCircuits int `json:"active_circuits"`
+	LiveFaults     int `json:"live_faults"`
+	// NewlyDetected lists the universe fault indices first detected at
+	// this setting's observation (nil when none).
+	NewlyDetected []int `json:"newly_detected,omitempty"`
+	// Detected is the campaign-wide cumulative detection count, including
+	// batches resumed from a checkpoint; NumFaults is the universe size.
+	Detected  int `json:"detected"`
+	NumFaults int `json:"num_faults"`
+	// BatchesDone counts completed batches (resumed ones included);
+	// Batches is the total. BatchDone marks the per-batch completion
+	// event.
+	BatchesDone int  `json:"batches_done"`
+	Batches     int  `json:"batches"`
+	BatchDone   bool `json:"batch_done,omitempty"`
+}
+
+// Coverage returns the event's campaign-wide detected fraction.
+func (e ProgressEvent) Coverage() float64 {
+	if e.NumFaults == 0 {
+		return 0
+	}
+	return float64(e.Detected) / float64(e.NumFaults)
 }
 
 // FaultOutcome is the merged result for one fault of the universe.
@@ -123,7 +157,15 @@ func (r *Result) Coverage() float64 { return r.Run.Coverage() }
 // Run executes a fault campaign over nw: record (or reuse) the good
 // trajectory, shard faults into batches, replay the batches across the
 // shard pool, and merge.
-func Run(nw *netlist.Network, faults []fault.Fault, seq *switchsim.Sequence, opts Options) (*Result, error) {
+//
+// Cancelling ctx stops the campaign cooperatively: no new batches start,
+// in-flight batches abort between settings (well under a second on any
+// realistic workload), and Run returns ctx's error. Batches checkpointed
+// before the cancellation remain resumable. A nil ctx never cancels.
+func Run(ctx context.Context, nw *netlist.Network, faults []fault.Fault, seq *switchsim.Sequence, opts Options) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	rec := opts.Recording
 	if rec == nil {
 		rec = core.Record(nw, seq, opts.Sim)
@@ -196,7 +238,30 @@ func Run(nw *netlist.Network, faults []fault.Fault, seq *switchsim.Sequence, opt
 		ckMu     sync.Mutex
 		errMu    sync.Mutex
 		firstErr error
+
+		// Progress-only state: observed detections and completed batches,
+		// campaign-wide. Kept separate from the early-stop counter (which
+		// only advances at batch completion) so streaming coverage is as
+		// fresh as the per-setting events. progressMu serializes counter
+		// update and event delivery together — that atomicity is what
+		// makes the Detected field monotonic across delivered events.
+		progressMu  sync.Mutex
+		obsDetected int
+		batchesDone int
 	)
+	emitProgress := func(ev ProgressEvent, newlyDetected, batchDone bool) {
+		progressMu.Lock()
+		defer progressMu.Unlock()
+		if newlyDetected {
+			obsDetected += len(ev.NewlyDetected)
+		}
+		if batchDone {
+			batchesDone++
+		}
+		ev.Detected = obsDetected
+		ev.BatchesDone = batchesDone
+		opts.Progress(ev)
+	}
 	var target int64
 	if opts.CoverageTarget > 0 && nf > 0 {
 		target = int64(math.Ceil(opts.CoverageTarget * float64(nf)))
@@ -212,21 +277,29 @@ func Run(nw *netlist.Network, faults []fault.Fault, seq *switchsim.Sequence, opt
 	}
 	for _, br := range results {
 		if br != nil {
-			detected.Add(countDetected(br))
+			n := countDetected(br)
+			detected.Add(n)
+			obsDetected += int(n) // pre-pool: no lock needed yet
+			batchesDone++
 		}
 	}
 	if target > 0 && detected.Load() >= target {
 		stop.Store(true)
 	}
 
-	tab := switchsim.NewTables(nw)
+	tab := opts.Tables
+	if tab == nil {
+		tab = switchsim.NewTables(nw)
+	} else if tab.Net != nw {
+		return nil, fmt.Errorf("campaign: Options.Tables was built over a different network")
+	}
 	var wg sync.WaitGroup
 	for s := 0; s < shards; s++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for {
-				if stop.Load() {
+				if stop.Load() || ctx.Err() != nil {
 					return
 				}
 				i := int(cursor.Add(1)) - 1
@@ -238,7 +311,28 @@ func Run(nw *netlist.Network, faults []fault.Fault, seq *switchsim.Sequence, opt
 				}
 				lo := i * batchSize
 				hi := min(lo+batchSize, nf)
-				br, err := core.RunBatch(tab, faults[lo:hi], rec, seq, simOpts)
+				batchOpts := simOpts
+				if opts.Progress != nil {
+					batchOpts.OnObserve = func(bp core.BatchProgress) {
+						ev := ProgressEvent{
+							Batch:          i,
+							Pattern:        bp.Pattern,
+							Setting:        bp.Setting,
+							ActiveCircuits: bp.ActiveCircuits,
+							LiveFaults:     bp.LiveFaults,
+							NumFaults:      nf,
+							Batches:        nBatches,
+						}
+						if len(bp.Detected) > 0 {
+							ev.NewlyDetected = make([]int, len(bp.Detected))
+							for j, fi := range bp.Detected {
+								ev.NewlyDetected[j] = lo + fi
+							}
+						}
+						emitProgress(ev, true, false)
+					}
+				}
+				br, err := core.RunBatch(ctx, tab, faults[lo:hi], rec, seq, batchOpts)
 				if err != nil {
 					errMu.Lock()
 					if firstErr == nil {
@@ -250,6 +344,18 @@ func Run(nw *netlist.Network, faults []fault.Fault, seq *switchsim.Sequence, opt
 				}
 				results[i] = br
 				ran.Add(1)
+				if opts.Progress != nil {
+					ev := ProgressEvent{
+						Batch:     i,
+						NumFaults: nf,
+						Batches:   nBatches,
+						BatchDone: true,
+					}
+					if n := len(br.PerPattern); n > 0 {
+						ev.LiveFaults = br.PerPattern[n-1].LiveAfter
+					}
+					emitProgress(ev, false, true)
+				}
 				if target > 0 && detected.Add(countDetected(br)) >= target {
 					stop.Store(true)
 				}
@@ -272,6 +378,14 @@ func Run(nw *netlist.Network, faults []fault.Fault, seq *switchsim.Sequence, opt
 		}()
 	}
 	wg.Wait()
+	if firstErr == nil && ctx.Err() != nil && int(ran.Load())+resumed < nBatches {
+		// Cancelled with batches still outstanding — unless the coverage
+		// target was reached first, in which case the early-stopped result
+		// stands.
+		if target == 0 || detected.Load() < target {
+			firstErr = fmt.Errorf("campaign: cancelled: %w", ctx.Err())
+		}
+	}
 	if firstErr != nil {
 		return nil, firstErr
 	}

@@ -2,8 +2,11 @@ package campaign_test
 
 import (
 	"bytes"
+	"context"
+	"errors"
 	"os"
 	"path/filepath"
+	"sync"
 	"testing"
 
 	"fmossim/internal/campaign"
@@ -115,7 +118,7 @@ func TestCampaignMatchesMonolithic(t *testing.T) {
 	for _, nBatches := range []int{1, 3, 7} {
 		for _, workers := range []int{1, 3} {
 			tag := "batches=" + string(rune('0'+nBatches)) + "/workers=" + string(rune('0'+workers))
-			res, err := campaign.Run(m.Net, faults, seq, campaign.Options{
+			res, err := campaign.Run(context.Background(), m.Net, faults, seq, campaign.Options{
 				Sim:       core.Options{Observe: obs, Workers: workers},
 				BatchSize: ceilDiv(len(faults), nBatches),
 				Shards:    2,
@@ -152,7 +155,7 @@ func TestCampaignSerializedRecording(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := campaign.Run(m.Net, faults, seq, campaign.Options{
+	res, err := campaign.Run(context.Background(), m.Net, faults, seq, campaign.Options{
 		Sim:       core.Options{Observe: obs},
 		BatchSize: ceilDiv(len(faults), 4),
 		Shards:    2,
@@ -178,7 +181,7 @@ func TestCampaignCheckpointResume(t *testing.T) {
 		Shards:         2,
 		CheckpointPath: ckPath,
 	}
-	first, err := campaign.Run(m.Net, faults, seq, opts)
+	first, err := campaign.Run(context.Background(), m.Net, faults, seq, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -189,7 +192,7 @@ func TestCampaignCheckpointResume(t *testing.T) {
 		t.Fatalf("checkpoint file not written: %v", err)
 	}
 
-	second, err := campaign.Run(m.Net, faults, seq, opts)
+	second, err := campaign.Run(context.Background(), m.Net, faults, seq, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -214,17 +217,17 @@ func TestCampaignCheckpointResume(t *testing.T) {
 	// batch results.
 	bad := opts
 	bad.BatchSize = ceilDiv(len(faults), 3)
-	if _, err := campaign.Run(m.Net, faults, seq, bad); err == nil {
+	if _, err := campaign.Run(context.Background(), m.Net, faults, seq, bad); err == nil {
 		t.Fatal("mismatched batching accepted")
 	}
 	swapped := append([]fault.Fault(nil), faults...)
 	swapped[0], swapped[1] = swapped[1], swapped[0]
-	if _, err := campaign.Run(m.Net, swapped, seq, opts); err == nil {
+	if _, err := campaign.Run(context.Background(), m.Net, swapped, seq, opts); err == nil {
 		t.Fatal("same-sized but different fault universe accepted")
 	}
 	badDrop := opts
 	badDrop.Sim.Drop = core.NeverDrop
-	if _, err := campaign.Run(m.Net, faults, seq, badDrop); err == nil {
+	if _, err := campaign.Run(context.Background(), m.Net, faults, seq, badDrop); err == nil {
 		t.Fatal("different drop policy accepted")
 	}
 }
@@ -235,7 +238,7 @@ func TestCampaignEarlyStop(t *testing.T) {
 	m, faults, seq := testBench(t)
 	obs := []netlist.NodeID{m.DataOut}
 
-	res, err := campaign.Run(m.Net, faults, seq, campaign.Options{
+	res, err := campaign.Run(context.Background(), m.Net, faults, seq, campaign.Options{
 		Sim:            core.Options{Observe: obs, Workers: 1},
 		BatchSize:      ceilDiv(len(faults), 8),
 		Shards:         1,
@@ -268,15 +271,123 @@ func TestCampaignValidation(t *testing.T) {
 	m, faults, seq := testBench(t)
 	obs := []netlist.NodeID{m.DataOut}
 
-	if _, err := campaign.Run(m.Net, faults, seq, campaign.Options{}); err == nil {
+	if _, err := campaign.Run(context.Background(), m.Net, faults, seq, campaign.Options{}); err == nil {
 		t.Error("campaign without observed outputs should fail")
 	}
 
 	other := ram.New(ram.Config{Rows: 2, Cols: 2})
 	rec := core.Record(other.Net, march.Sequence1(other), core.Options{})
-	if _, err := campaign.Run(m.Net, faults, seq, campaign.Options{
+	if _, err := campaign.Run(context.Background(), m.Net, faults, seq, campaign.Options{
 		Sim: core.Options{Observe: obs}, Recording: rec,
 	}); err == nil {
 		t.Error("foreign recording should fail validation")
+	}
+}
+
+// TestCampaignProgressEvents: the Progress stream reports every batch's
+// completion, campaign-wide detections that are monotonic per reporting
+// batch and sum to the final count, and universe-indexed detection
+// events consistent with the merged per-fault outcomes.
+func TestCampaignProgressEvents(t *testing.T) {
+	m, faults, seq := testBench(t)
+	obs := []netlist.NodeID{m.DataOut}
+
+	var mu sync.Mutex
+	var events []campaign.ProgressEvent
+	res, err := campaign.Run(context.Background(), m.Net, faults, seq, campaign.Options{
+		Sim:       core.Options{Observe: obs},
+		BatchSize: ceilDiv(len(faults), 3),
+		Shards:    2,
+		Progress: func(ev campaign.ProgressEvent) {
+			mu.Lock()
+			events = append(events, ev)
+			mu.Unlock()
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	batchDone := 0
+	lastDetected := -1
+	seen := map[int]bool{}
+	for _, ev := range events {
+		if ev.NumFaults != len(faults) || ev.Batches != res.Batches {
+			t.Fatalf("event universe %d/%d, want %d/%d", ev.NumFaults, ev.Batches, len(faults), res.Batches)
+		}
+		if ev.Detected < lastDetected {
+			t.Fatalf("campaign-wide detected regressed: %d -> %d", lastDetected, ev.Detected)
+		}
+		lastDetected = ev.Detected
+		if ev.BatchDone {
+			batchDone++
+		}
+		for _, fi := range ev.NewlyDetected {
+			if seen[fi] {
+				t.Fatalf("fault %d detected twice in the event stream", fi)
+			}
+			seen[fi] = true
+			if _, ok := res.Detected(fi); !ok {
+				t.Fatalf("fault %d streamed as detected but not in the result", fi)
+			}
+		}
+	}
+	if batchDone != res.Batches {
+		t.Fatalf("%d batch-done events, want %d", batchDone, res.Batches)
+	}
+	if len(seen) != res.Run.Detected || lastDetected != res.Run.Detected {
+		t.Fatalf("streamed %d detections (last counter %d), result has %d",
+			len(seen), lastDetected, res.Run.Detected)
+	}
+}
+
+// TestCampaignCancellation: a cancelled campaign returns promptly with
+// context.Canceled; completed batches stay in the checkpoint and a
+// resumed run finishes from them.
+func TestCampaignCancellation(t *testing.T) {
+	m, faults, seq := testBench(t)
+	obs := []netlist.NodeID{m.DataOut}
+	ckPath := filepath.Join(t.TempDir(), "ck.json")
+
+	// Cancel as soon as the first batch completes.
+	ctx, cancel := context.WithCancel(context.Background())
+	opts := campaign.Options{
+		Sim:            core.Options{Observe: obs},
+		BatchSize:      ceilDiv(len(faults), 8),
+		Shards:         1,
+		CheckpointPath: ckPath,
+		Progress: func(ev campaign.ProgressEvent) {
+			if ev.BatchDone {
+				cancel()
+			}
+		},
+	}
+	_, err := campaign.Run(ctx, m.Net, faults, seq, opts)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled campaign returned %v, want context.Canceled", err)
+	}
+
+	// Resume without the cancelled context: at least one batch must come
+	// from the checkpoint, and the merged result matches an uninterrupted
+	// run.
+	opts.Progress = nil
+	res, err := campaign.Run(context.Background(), m.Net, faults, seq, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BatchesResumed == 0 {
+		t.Fatal("no batches resumed after cancellation")
+	}
+	clean, err := campaign.Run(context.Background(), m.Net, faults, seq, campaign.Options{
+		Sim:       core.Options{Observe: obs},
+		BatchSize: opts.BatchSize,
+		Shards:    1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Run.Detected != clean.Run.Detected || res.Run.FaultWork != clean.Run.FaultWork {
+		t.Fatalf("resumed result diverged: %d/%d vs %d/%d",
+			res.Run.Detected, res.Run.FaultWork, clean.Run.Detected, clean.Run.FaultWork)
 	}
 }

@@ -55,9 +55,10 @@ func hashFaults(faults []fault.Fault) uint64 {
 	return h.Sum64()
 }
 
-// hashSimOptions digests the result-shaping simulator options. Workers is
-// deliberately excluded: results are bit-identical for every worker
-// count, so it is a legitimate thing to change between resume runs.
+// hashSimOptions digests the result-shaping simulator options. Workers
+// and the OnObserve progress hook are deliberately excluded: results are
+// bit-identical for every worker count and progress never shapes them,
+// so both are legitimate things to change between resume runs.
 func hashSimOptions(opts core.Options) uint64 {
 	h := fnv.New64a()
 	var buf [8]byte
@@ -116,9 +117,11 @@ func LoadCheckpoint(r io.Reader) (*Checkpoint, error) {
 	return c, nil
 }
 
-// saveFile atomically replaces the checkpoint file: write to a temp file
-// in the same directory, then rename, so an interrupted write never
-// corrupts the resume state.
+// saveFile atomically and durably replaces the checkpoint file: write to
+// a temp file in the same directory, fsync it, rename over the target,
+// then fsync the directory. Without the fsyncs the rename is atomic
+// against concurrent readers but not against power loss — a crash could
+// leave the new name pointing at data that never reached the disk.
 func (c *Checkpoint) saveFile(path string) error {
 	dir := filepath.Dir(path)
 	tmp, err := os.CreateTemp(dir, ".campaign-ck-*")
@@ -130,10 +133,24 @@ func (c *Checkpoint) saveFile(path string) error {
 		tmp.Close()
 		return err
 	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
 	if err := tmp.Close(); err != nil {
 		return err
 	}
-	return os.Rename(tmp.Name(), path)
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return err
+	}
+	// Persist the rename itself. Directory fsync can fail on exotic
+	// filesystems; the data fsync above already happened, so don't fail
+	// the campaign over it.
+	if d, err := os.Open(dir); err == nil {
+		d.Sync()
+		d.Close()
+	}
+	return nil
 }
 
 // loadCheckpointFile loads path, returning (nil, nil) when the file does

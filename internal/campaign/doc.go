@@ -1,0 +1,47 @@
+// Package campaign is the sharded fault-campaign engine: it records the
+// good circuit's trajectory once, partitions the fault universe into
+// batches, replays each batch independently against the recording, and
+// merges the outcomes deterministically.
+//
+// This is the trajectory-decoupled execution model the FMOSSIM cost
+// analysis points at: the good circuit is simulated exactly once per
+// sequence (core.Record), and every fault batch pays only fault-side,
+// activity-proportional work. Because a batch's memory footprint scales
+// with its width (workers × nodes + live divergence) rather than with the
+// whole universe, a campaign can stream an arbitrarily large fault list
+// through bounded memory, run batches concurrently, stop early at a
+// coverage target, resume from a checkpoint of completed batches, report
+// per-setting progress (Options.Progress), and cancel cooperatively
+// (the Run context).
+//
+// # Recording fingerprint contract
+//
+// A switchsim.Recording is bound to the exact (network, sequence) pair it
+// was captured over: it carries the network's node and transistor counts
+// and the sequence's setting count, and Run validates them before any
+// batch replays (switchsim.Recording.Validate). A recording that was
+// serialized (Encode/DecodeRecording) and shipped to another process
+// revalidates identically there. Checkpoints extend the same idea to the
+// campaign level: a checkpoint fingerprints the sequence name and setting
+// count, the fault universe (content hash), the network shape, the
+// result-shaping simulator options, and the batching; Run refuses to
+// resume from a checkpoint whose fingerprint differs, because attributing
+// stale batch results to a different campaign would be silent corruption.
+// Worker counts and progress callbacks are deliberately outside the
+// fingerprint: they never change results.
+//
+// # Batch/merge determinism guarantee
+//
+// Each fault's simulation depends only on the recorded trajectory and its
+// own state, never on which batch hosts it, which worker executes it, or
+// when its batch runs relative to others. Batches are merged at
+// input-setting granularity in ascending fault order, so a campaign's
+// detections (with their pattern/setting coordinates), final divergence
+// records, and deterministic statistics (work units, active-circuit
+// counts, live counts) are bit-identical to a monolithic core.Simulator
+// run over the same fault list, for every batch size, shard count, and
+// worker count. Wall-clock fields are the only exception. Early stop
+// (CoverageTarget) intentionally breaks the equivalence: skipped batches
+// are reported per fault, never silently counted. The guarantee is
+// asserted across batch/worker combinations by TestCampaignMatchesMonolithic.
+package campaign

@@ -1,0 +1,47 @@
+package campaign_test
+
+import (
+	"context"
+	"fmt"
+
+	"fmossim/internal/campaign"
+	"fmossim/internal/core"
+	"fmossim/internal/fault"
+	"fmossim/internal/gates"
+	"fmossim/internal/logic"
+	"fmossim/internal/netlist"
+	"fmossim/internal/switchsim"
+)
+
+// ExampleRun shards a tiny stuck-at universe over an nMOS inverter chain
+// into single-fault batches and merges them — the same result a
+// monolithic core.Simulator would produce.
+func ExampleRun() {
+	b := netlist.NewBuilder(logic.Scale{Sizes: 2, Strengths: 2})
+	in := b.Input("in", logic.Lo)
+	mid, out := b.Node("mid"), b.Node("out")
+	gates.NInv(b, in, mid, "inv1")
+	gates.NInv(b, mid, out, "inv2")
+	nw := b.Finalize()
+
+	seq := &switchsim.Sequence{Name: "toggle", Patterns: []switchsim.Pattern{{
+		Name: "p0",
+		Settings: []switchsim.Setting{
+			switchsim.MustVector(nw, map[string]logic.Value{"in": logic.Lo}),
+			switchsim.MustVector(nw, map[string]logic.Value{"in": logic.Hi}),
+		},
+	}}}
+
+	faults := fault.NodeStuckFaults(nw, fault.Options{})
+	res, err := campaign.Run(context.Background(), nw, faults, seq, campaign.Options{
+		Sim:       core.Options{Observe: []netlist.NodeID{nw.MustLookup("out")}},
+		BatchSize: 1,
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("%d faults in %d batches: coverage %.0f%%\n",
+		len(faults), res.Batches, 100*res.Coverage())
+	// Output:
+	// 4 faults in 4 batches: coverage 100%
+}

@@ -13,6 +13,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"slices"
@@ -532,22 +533,34 @@ type BatchResult struct {
 // initialization step first, then every pattern of seq with observations
 // at its observe points. The batch must be freshly constructed. The
 // recording must have been captured over the same network and sequence.
-func (b *FaultBatch) RunRecording(rec *switchsim.Recording, seq *switchsim.Sequence) (*BatchResult, error) {
+//
+// Cancellation is cooperative at setting granularity: ctx is checked
+// between settings (each a few microseconds to milliseconds of work), and
+// a cancelled replay returns ctx's error with no partial result. A nil
+// ctx behaves like context.Background().
+func (b *FaultBatch) RunRecording(ctx context.Context, rec *switchsim.Recording, seq *switchsim.Sequence) (*BatchResult, error) {
 	if b.started {
 		return nil, fmt.Errorf("core: batch already ran; build a fresh FaultBatch per replay")
 	}
 	if err := rec.Validate(b.nw, seq.NumSettings()); err != nil {
 		return nil, err
 	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	b.Step(&rec.Steps[0])
 
 	br := &BatchResult{NumFaults: len(b.faults)}
+	detTotal := 0
 	si := 1
 	for pi := range seq.Patterns {
 		p := &seq.Patterns[pi]
 		b.BeginPattern()
 		ps := PatternStats{Pattern: pi, Name: p.Name, LiveBefore: b.live}
 		for i := range p.Settings {
+			if err := ctx.Err(); err != nil {
+				return nil, fmt.Errorf("core: batch replay cancelled at pattern %d setting %d: %w", pi, i, err)
+			}
 			st := b.Step(&rec.Steps[si])
 			si++
 			br.PerSetting = append(br.PerSetting, st)
@@ -557,8 +570,20 @@ func (b *FaultBatch) RunRecording(rec *switchsim.Recording, seq *switchsim.Seque
 				ps.MaxActive = st.ActiveCircuits
 			}
 			ps.Settings++
+			var det []int
 			if p.ObserveAt(i) {
-				ps.Detected += len(b.Observe())
+				det = b.Observe()
+				ps.Detected += len(det)
+				detTotal += len(det)
+			}
+			if b.opts.OnObserve != nil {
+				b.opts.OnObserve(BatchProgress{
+					Pattern: pi, Setting: i,
+					ActiveCircuits: st.ActiveCircuits,
+					LiveFaults:     b.live,
+					Detected:       det,
+					DetectedTotal:  detTotal,
+				})
 			}
 		}
 		ps.LiveAfter = b.live
@@ -582,11 +607,12 @@ func (b *FaultBatch) RunRecording(rec *switchsim.Recording, seq *switchsim.Seque
 // RunBatch builds a replay-mode batch over one slice of the fault universe
 // and runs it against a recorded good trajectory: the campaign engine's
 // unit of work. Batches over the same Tables are independent and safe to
-// run concurrently.
-func RunBatch(tab *switchsim.Tables, faults []fault.Fault, rec *switchsim.Recording, seq *switchsim.Sequence, opts Options) (*BatchResult, error) {
+// run concurrently. Cancelling ctx stops the replay between settings (see
+// RunRecording); a nil ctx never cancels.
+func RunBatch(ctx context.Context, tab *switchsim.Tables, faults []fault.Fault, rec *switchsim.Recording, seq *switchsim.Sequence, opts Options) (*BatchResult, error) {
 	b, err := NewFaultBatch(tab, faults, opts)
 	if err != nil {
 		return nil, err
 	}
-	return b.RunRecording(rec, seq)
+	return b.RunRecording(ctx, rec, seq)
 }

@@ -1,6 +1,7 @@
 package core_test
 
 import (
+	"context"
 	"runtime"
 	"testing"
 
@@ -28,7 +29,7 @@ func TestRunBatchMatchesMonolithic(t *testing.T) {
 	monoRes := mono.Run(seq)
 
 	rec := core.Record(m.Net, seq, core.Options{})
-	br, err := core.RunBatch(switchsim.NewTables(m.Net), faults, rec, seq, opts)
+	br, err := core.RunBatch(context.Background(), switchsim.NewTables(m.Net), faults, rec, seq, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -73,10 +74,10 @@ func TestRunBatchMatchesMonolithic(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := b2.RunRecording(rec, seq); err != nil {
+	if _, err := b2.RunRecording(context.Background(), rec, seq); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := b2.RunRecording(rec, seq); err == nil {
+	if _, err := b2.RunRecording(context.Background(), rec, seq); err == nil {
 		t.Fatal("re-running a consumed batch should fail")
 	}
 }

@@ -1,43 +1,6 @@
-// Package core implements FMOSSIM's concurrent switch-level fault
-// simulation algorithm: the paper's primary contribution.
-//
-// The good circuit (id 0) is simulated in its entirety. For each faulty
-// circuit, the simulator keeps only divergence records ⟨circuit, state⟩ on
-// the nodes whose state differs from the good circuit, plus the fault pin
-// itself. Per input setting, the good circuit is simulated first; the
-// activity it generates — together with the input changes — determines
-// which faulty circuits must be re-simulated ("events are scheduled on a
-// circuit-by-circuit basis"). Each activated faulty circuit is then
-// simulated separately by materializing its view (good state overlaid with
-// its records and fault), settling only from its perturbed nodes, and
-// diffing the touched region back into records. This exploits the
-// data-dependent locality of each circuit individually, which is the
-// paper's key adaptation of concurrent simulation to the switch level,
-// where logic-element boundaries (transistor vicinities) differ between
-// the good and faulty circuits.
-//
-// A faulty circuit is activated when the good circuit's activity touches
-// its interest set: its divergence records, the channel terminals of
-// transistors whose conduction in the faulty circuit differs from the good
-// circuit (stuck transistors, transistors gated by divergent or faulted
-// nodes), and the neighborhood of faulted nodes. The per-node interest
-// index plays the role of the paper's per-node state lists sorted by
-// circuit id with shadow pointers: it makes "which circuits care about
-// this node" an O(listeners) query.
-//
-// Whenever a faulty circuit's observed output differs from the good
-// circuit's, the fault is detected and the circuit is dropped: its records
-// are purged and it is never simulated again.
-//
-// The package is split along the producer/consumer seam: a goodRunner
-// simulates the fault-free circuit and emits one switchsim.StepTrace per
-// step (good.go); a FaultBatch consumes step traces and executes an
-// arbitrary slice of the fault universe against them (batch.go). The
-// Simulator below wires one producer to one batch covering the whole
-// universe — the classic monolithic configuration. Record captures the
-// producer's traces as a switchsim.Recording, against which independent
-// batches can replay without a good-circuit solver (see internal/campaign
-// for the sharded campaign engine built on top).
+// Shared simulator types (options, detections, drop policies, fault
+// state) and the monolithic Simulator wiring one good-circuit producer to
+// one full-universe FaultBatch. Package documentation lives in doc.go.
 package core
 
 import (
@@ -114,6 +77,27 @@ type Options struct {
 	// for every Workers value. 0 selects runtime.GOMAXPROCS(0); 1 runs
 	// fully inline.
 	Workers int
+	// OnObserve, when non-nil, is invoked by batch replays
+	// (FaultBatch.RunRecording) after every input setting with that
+	// setting's progress. It is called synchronously from the replaying
+	// goroutine and must be fast; it never affects simulation results and
+	// is excluded from campaign checkpoint fingerprints.
+	OnObserve func(BatchProgress)
+}
+
+// BatchProgress is one setting's progress report from a batch replay: the
+// position in the sequence, the setting's activity, the batch's live-fault
+// count after any observation, and the batch fault indices first detected
+// by this setting's observation (nil when none, or when the setting had no
+// observe point).
+type BatchProgress struct {
+	Pattern, Setting int
+	ActiveCircuits   int
+	LiveFaults       int
+	Detected         []int
+	// DetectedTotal is the cumulative number of detected faults in the
+	// batch after this setting.
+	DetectedTotal int
 }
 
 // Detection describes the first detection of one fault.

@@ -1,0 +1,55 @@
+// Package core implements FMOSSIM's concurrent switch-level fault
+// simulation algorithm: the paper's primary contribution.
+//
+// The good circuit (id 0) is simulated in its entirety. For each faulty
+// circuit, the simulator keeps only divergence records ⟨circuit, state⟩ on
+// the nodes whose state differs from the good circuit, plus the fault pin
+// itself. Per input setting, the good circuit is simulated first; the
+// activity it generates — together with the input changes — determines
+// which faulty circuits must be re-simulated ("events are scheduled on a
+// circuit-by-circuit basis"). Each activated faulty circuit is then
+// simulated separately by materializing its view (good state overlaid with
+// its records and fault), settling only from its perturbed nodes, and
+// diffing the touched region back into records. This exploits the
+// data-dependent locality of each circuit individually, which is the
+// paper's key adaptation of concurrent simulation to the switch level,
+// where logic-element boundaries (transistor vicinities) differ between
+// the good and faulty circuits.
+//
+// A faulty circuit is activated when the good circuit's activity touches
+// its interest set: its divergence records, the channel terminals of
+// transistors whose conduction in the faulty circuit differs from the good
+// circuit (stuck transistors, transistors gated by divergent or faulted
+// nodes), and the neighborhood of faulted nodes. The per-node interest
+// index plays the role of the paper's per-node state lists sorted by
+// circuit id with shadow pointers: it makes "which circuits care about
+// this node" an O(listeners) query.
+//
+// Whenever a faulty circuit's observed output differs from the good
+// circuit's, the fault is detected and the circuit is dropped: its records
+// are purged and it is never simulated again.
+//
+// # Producer/consumer split and the determinism guarantee
+//
+// The package is split along the producer/consumer seam: a goodRunner
+// simulates the fault-free circuit and emits one switchsim.StepTrace per
+// step (good.go); a FaultBatch consumes step traces and executes an
+// arbitrary slice of the fault universe against them (batch.go). The
+// Simulator wires one producer to one batch covering the whole universe —
+// the classic monolithic configuration. Record captures the producer's
+// traces as a switchsim.Recording, against which independent batches
+// replay without a good-circuit solver (RunBatch; see internal/campaign
+// for the sharded engine built on top).
+//
+// The replay path is deterministic by construction: a batch's results
+// depend only on the recording and the batch's own fault slice. Within a
+// batch, activated circuits are executed by a worker pool whose
+// divergence-record write-back is merged in ascending circuit-id order,
+// so results are bit-identical for every Options.Workers value; across
+// batches, any partition of the fault universe replayed against the same
+// recording merges (at setting granularity) to the monolithic result.
+// Recordings carry a fingerprint (network shape + setting count) that
+// RunBatch validates before replaying. Cancellation (the RunBatch
+// context) and progress reporting (Options.OnObserve) never affect
+// results — a cancelled replay returns an error, not a partial result.
+package core

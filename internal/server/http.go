@@ -1,0 +1,200 @@
+// HTTP surface: the job lifecycle endpoints and the NDJSON progress
+// stream.
+//
+//	POST   /jobs             submit a campaign (JobSpec JSON) -> 202 + Snapshot
+//	GET    /jobs             list all jobs -> []Snapshot
+//	GET    /jobs/{id}        one job's Snapshot (plus result when done)
+//	GET    /jobs/{id}/stream NDJSON progress until the job is terminal
+//	DELETE /jobs/{id}        cancel a live job / remove a terminal one
+//	GET    /healthz          liveness probe
+//
+// A saturated server answers POST /jobs with 429 and a Retry-After
+// header. The stream emits three line types, one JSON object per line:
+// {"type":"snapshot",...} progress snapshots (coverage monotonically
+// non-decreasing, coalesced to at most one per Config.StreamInterval),
+// {"type":"detections",...} detection event groups (never coalesced),
+// and a final {"type":"result",...} (or terminal snapshot for
+// failed/cancelled jobs) before the stream closes.
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// statusResponse is GET /jobs/{id}: the snapshot plus the terminal
+// result when available.
+type statusResponse struct {
+	Snapshot
+	Result *Result `json:"result,omitempty"`
+}
+
+// streamLine is one NDJSON line.
+type streamLine struct {
+	Type string `json:"type"`
+	*Snapshot
+	*DetectionGroup
+	Result *Result `json:"result,omitempty"`
+}
+
+// Handler returns the HTTP handler serving the job API.
+func (m *Manager) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /jobs", m.handleSubmit)
+	mux.HandleFunc("GET /jobs", m.handleList)
+	mux.HandleFunc("GET /jobs/{id}", m.handleGet)
+	mux.HandleFunc("GET /jobs/{id}/stream", m.handleStream)
+	mux.HandleFunc("DELETE /jobs/{id}", m.handleDelete)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	return mux
+}
+
+func (m *Manager) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var spec JobSpec
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 64<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("decoding job spec: %v", err))
+		return
+	}
+	job, err := m.Submit(spec)
+	switch {
+	case errors.Is(err, ErrQueueFull):
+		// Round up with a floor of 1: "Retry-After: 0" would invite an
+		// immediate retry, defeating the shedding.
+		secs := int(math.Ceil(m.cfg.RetryAfter.Seconds()))
+		if secs < 1 {
+			secs = 1
+		}
+		w.Header().Set("Retry-After", strconv.Itoa(secs))
+		writeError(w, http.StatusTooManyRequests, err.Error())
+		return
+	case errors.Is(err, ErrClosed):
+		writeError(w, http.StatusServiceUnavailable, err.Error())
+		return
+	case err != nil:
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	w.Header().Set("Location", "/jobs/"+job.ID)
+	writeJSON(w, http.StatusAccepted, job.Snapshot())
+}
+
+func (m *Manager) handleList(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, m.List())
+}
+
+func (m *Manager) handleGet(w http.ResponseWriter, r *http.Request) {
+	job, ok := m.Get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "no such job")
+		return
+	}
+	writeJSON(w, http.StatusOK, statusResponse{Snapshot: job.Snapshot(), Result: job.Result()})
+}
+
+func (m *Manager) handleDelete(w http.ResponseWriter, r *http.Request) {
+	job, ok := m.Get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "no such job")
+		return
+	}
+	if job.Snapshot().State.Terminal() {
+		m.Remove(job.ID)
+		writeJSON(w, http.StatusOK, map[string]string{"id": job.ID, "status": "removed"})
+		return
+	}
+	m.Cancel(job.ID) // queued: leaves the queue and turns terminal now
+	writeJSON(w, http.StatusAccepted, map[string]string{"id": job.ID, "status": "cancelling"})
+}
+
+// handleStream writes NDJSON progress until the job reaches a terminal
+// state or the client disconnects. Snapshot lines coalesce bursts of
+// progress events (each line reflects the latest state, throttled to
+// Config.StreamInterval); detection groups are replayed completely, in
+// order, from the job's append-only log.
+func (m *Manager) handleStream(w http.ResponseWriter, r *http.Request) {
+	job, ok := m.Get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "no such job")
+		return
+	}
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, http.StatusInternalServerError, "streaming unsupported")
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("Cache-Control", "no-store")
+	w.WriteHeader(http.StatusOK)
+
+	enc := json.NewEncoder(w)
+	cursor := 0
+	var lastEvents int64 = -1
+	var lastSnapshot time.Time
+	for {
+		snap, groups, newCursor, notify := job.observe(cursor)
+		cursor = newCursor
+		for i := range groups {
+			enc.Encode(streamLine{Type: "detections", DetectionGroup: &groups[i]})
+		}
+		terminal := snap.State.Terminal()
+		if snap.Events != lastEvents &&
+			(terminal || len(groups) > 0 || time.Since(lastSnapshot) >= m.cfg.StreamInterval) {
+			enc.Encode(streamLine{Type: "snapshot", Snapshot: &snap})
+			lastEvents = snap.Events
+			lastSnapshot = time.Now()
+		}
+		flusher.Flush()
+		if terminal {
+			if res := job.Result(); res != nil {
+				enc.Encode(streamLine{Type: "result", Result: res})
+				flusher.Flush()
+			}
+			return
+		}
+		select {
+		case <-notify:
+		case <-r.Context().Done():
+			return
+		}
+		// Pace the loop so event storms coalesce instead of becoming one
+		// snapshot line per simulated setting — but cut the wait short as
+		// soon as detections arrive or the job turns terminal: those
+		// lines are never delayed.
+		pace := time.NewTimer(m.cfg.StreamInterval)
+	coalesce:
+		for {
+			det, term, next := job.pending(cursor)
+			if det || term {
+				pace.Stop()
+				break
+			}
+			select {
+			case <-pace.C:
+				break coalesce
+			case <-next:
+			case <-r.Context().Done():
+				pace.Stop()
+				return
+			}
+		}
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, map[string]string{"error": msg})
+}

@@ -1,0 +1,378 @@
+// Package server implements fmossimd, the concurrent campaign job
+// server: a long-running HTTP/JSON service that accepts fault-campaign
+// submissions, schedules them over a bounded pool of runner goroutines,
+// shares one warm engine — read-only switchsim.Tables and recorded
+// good-circuit trajectories — across jobs over the same circuit, and
+// streams per-setting progress (coverage, live-fault counts, detection
+// events) as NDJSON.
+//
+// The throughput argument is the paper's, lifted one level: just as the
+// concurrent simulator amortizes the good circuit across the fault
+// universe, the server amortizes trajectory recording and table
+// construction across campaigns, so a burst of jobs over the RAM
+// benchmarks pays the good-circuit cost once. Load shedding is explicit:
+// at most MaxJobs campaigns run at a time, at most QueueDepth wait, and
+// submissions beyond that are rejected with 429 and a Retry-After hint
+// so the daemon degrades predictably under burst traffic.
+//
+// Results are bit-identical to the one-shot CLI path (cmd/fmossim in
+// campaign mode): both funnel into campaign.Run, whose determinism
+// contract is independent of sharding, worker count, and — by
+// construction — of which jobs share cached state.
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"fmossim/internal/campaign"
+	"fmossim/internal/core"
+)
+
+// Config sizes the server.
+type Config struct {
+	// MaxJobs is the number of campaigns running concurrently (the
+	// runner-pool width). Default 2.
+	MaxJobs int
+	// QueueDepth is the number of accepted-but-not-started jobs the
+	// server holds before shedding load with 429. Default 16.
+	QueueDepth int
+	// RetryAfter is the hint returned with 429 responses. Default 1s.
+	RetryAfter time.Duration
+	// StreamInterval is the minimum spacing between consecutive snapshot
+	// lines on an NDJSON stream (detection and terminal lines are never
+	// delayed). Default 100ms.
+	StreamInterval time.Duration
+	// KeepTerminal bounds how many finished (done/failed/cancelled) jobs
+	// the server retains for status queries: beyond it, the oldest
+	// terminal jobs are evicted, so a long-running daemon's memory does
+	// not grow with its job history. Default 64.
+	KeepTerminal int
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxJobs <= 0 {
+		c.MaxJobs = 2
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 16
+	}
+	if c.RetryAfter <= 0 {
+		c.RetryAfter = time.Second
+	}
+	if c.StreamInterval <= 0 {
+		c.StreamInterval = 100 * time.Millisecond
+	}
+	if c.KeepTerminal <= 0 {
+		c.KeepTerminal = 64
+	}
+	return c
+}
+
+// ErrQueueFull is returned by Submit when both the runner pool and the
+// queue are saturated; HTTP maps it to 429 with Retry-After.
+var ErrQueueFull = errors.New("server: job queue full")
+
+// ErrClosed is returned by Submit after Close.
+var ErrClosed = errors.New("server: shutting down")
+
+// Manager owns the job table, the submission queue, and the runner pool.
+type Manager struct {
+	cfg   Config
+	cache *cache
+
+	ctx    context.Context
+	cancel context.CancelFunc
+	wg     sync.WaitGroup
+
+	mu      sync.Mutex
+	nonIdle sync.Cond // signaled when pending grows or the manager closes
+	pending []*Job    // queued jobs, submission order; len bounded by QueueDepth
+	jobs    map[string]*Job
+	order   []string
+	nextID  int
+	closed  bool
+}
+
+// NewManager starts cfg.MaxJobs runner goroutines and returns the
+// manager. Call Close to stop them.
+func NewManager(cfg Config) *Manager {
+	cfg = cfg.withDefaults()
+	ctx, cancel := context.WithCancel(context.Background())
+	m := &Manager{
+		cfg:    cfg,
+		cache:  newCache(),
+		ctx:    ctx,
+		cancel: cancel,
+		jobs:   map[string]*Job{},
+	}
+	m.nonIdle.L = &m.mu
+	for i := 0; i < cfg.MaxJobs; i++ {
+		m.wg.Add(1)
+		go m.runner()
+	}
+	return m
+}
+
+// Config returns the effective (defaulted) configuration.
+func (m *Manager) Config() Config { return m.cfg }
+
+// Submit validates and enqueues a job. It returns ErrQueueFull when the
+// pool and queue are saturated and ErrClosed during shutdown; any other
+// error is a spec validation failure.
+func (m *Manager) Submit(spec JobSpec) (*Job, error) {
+	if err := spec.validate(); err != nil {
+		return nil, err
+	}
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return nil, ErrClosed
+	}
+	if len(m.pending) >= m.cfg.QueueDepth {
+		m.mu.Unlock()
+		return nil, ErrQueueFull
+	}
+	m.nextID++
+	job := newJob(fmt.Sprintf("job-%d", m.nextID), spec, m.ctx)
+	m.pending = append(m.pending, job)
+	m.jobs[job.ID] = job
+	m.order = append(m.order, job.ID)
+	m.nonIdle.Signal()
+	m.mu.Unlock()
+	return job, nil
+}
+
+// Cancel cancels a job by id: a queued job leaves the queue (freeing its
+// slot) and turns terminal immediately; a running job's context is
+// cancelled and its campaign stops cooperatively. Reports whether the
+// job exists.
+func (m *Manager) Cancel(id string) bool {
+	m.mu.Lock()
+	job, ok := m.jobs[id]
+	if !ok {
+		m.mu.Unlock()
+		return false
+	}
+	for i, p := range m.pending {
+		if p == job {
+			m.pending = append(m.pending[:i], m.pending[i+1:]...)
+			break
+		}
+	}
+	m.mu.Unlock()
+	// Outside m.mu: finish publishes under the job lock.
+	if job.Snapshot().State == StateQueued {
+		job.finish(StateCancelled, "cancelled while queued", nil)
+		m.pruneTerminal()
+	}
+	job.Cancel()
+	return true
+}
+
+// Get returns a job by id.
+func (m *Manager) Get(id string) (*Job, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.jobs[id]
+	return j, ok
+}
+
+// List returns snapshots of every known job in submission order.
+func (m *Manager) List() []Snapshot {
+	m.mu.Lock()
+	jobs := make([]*Job, 0, len(m.order))
+	for _, id := range m.order {
+		if j, ok := m.jobs[id]; ok {
+			jobs = append(jobs, j)
+		}
+	}
+	m.mu.Unlock()
+	out := make([]Snapshot, len(jobs))
+	for i, j := range jobs {
+		out[i] = j.Snapshot()
+	}
+	return out
+}
+
+// Remove deletes a terminal job from the table. It reports whether the
+// job existed and was terminal (live jobs must be cancelled first).
+func (m *Manager) Remove(id string) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.jobs[id]
+	if !ok || !j.Snapshot().State.Terminal() {
+		return false
+	}
+	delete(m.jobs, id)
+	for i, oid := range m.order {
+		if oid == id {
+			m.order = append(m.order[:i], m.order[i+1:]...)
+			break
+		}
+	}
+	return true
+}
+
+// Close cancels every job, stops the runner pool, and waits for it to
+// drain. Idempotent.
+func (m *Manager) Close() {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		m.wg.Wait()
+		return
+	}
+	m.closed = true
+	m.nonIdle.Broadcast()
+	m.mu.Unlock()
+	m.cancel() // cancels every job ctx (all derive from m.ctx)
+	m.wg.Wait()
+}
+
+// runner is one worker of the bounded pool: it drains the pending queue,
+// running one campaign at a time, until Close.
+func (m *Manager) runner() {
+	defer m.wg.Done()
+	for {
+		m.mu.Lock()
+		for len(m.pending) == 0 && !m.closed {
+			m.nonIdle.Wait()
+		}
+		if len(m.pending) == 0 { // closed and drained
+			m.mu.Unlock()
+			return
+		}
+		job := m.pending[0]
+		m.pending = m.pending[1:]
+		m.mu.Unlock()
+		if job.ctx.Err() != nil {
+			job.finish(StateCancelled, "cancelled while queued", nil)
+		} else {
+			m.runJob(job)
+		}
+		m.pruneTerminal()
+	}
+}
+
+// pruneTerminal evicts the oldest terminal jobs beyond Config.KeepTerminal
+// so the daemon's memory is bounded by its concurrency and retention
+// limits, not by its lifetime job count.
+func (m *Manager) pruneTerminal() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var terminal []string
+	for _, id := range m.order {
+		if j, ok := m.jobs[id]; ok && j.Snapshot().State.Terminal() {
+			terminal = append(terminal, id)
+		}
+	}
+	for len(terminal) > m.cfg.KeepTerminal {
+		id := terminal[0]
+		terminal = terminal[1:]
+		delete(m.jobs, id)
+		for i, oid := range m.order {
+			if oid == id {
+				m.order = append(m.order[:i], m.order[i+1:]...)
+				break
+			}
+		}
+	}
+}
+
+// runJob resolves and executes one campaign, publishing progress into the
+// job as it streams from the shard pool.
+func (m *Manager) runJob(job *Job) {
+	job.setRunning()
+	start := time.Now()
+
+	wl, err := m.resolve(&job.Spec)
+	if err != nil {
+		job.finish(StateFailed, err.Error(), nil)
+		return
+	}
+	if job.ctx.Err() != nil { // cancelled while resolving/cache-warming
+		job.finish(StateCancelled, "cancelled", nil)
+		return
+	}
+	job.publish(func() {
+		job.numFaults = len(wl.faults)
+		job.liveFaults = len(wl.faults)
+	})
+
+	shards := job.Spec.Shards
+	if shards <= 0 {
+		// Fair share: concurrent jobs split the machine instead of each
+		// claiming all of it.
+		shards = runtime.GOMAXPROCS(0) / m.cfg.MaxJobs
+		if shards < 1 {
+			shards = 1
+		}
+	}
+	res, err := campaign.Run(job.ctx, wl.nw, wl.faults, wl.seq, campaign.Options{
+		Sim: core.Options{
+			Observe: wl.observe,
+			Drop:    job.Spec.dropPolicy(),
+			Workers: job.Spec.Workers,
+		},
+		BatchSize:      job.Spec.BatchSize,
+		Shards:         shards,
+		CoverageTarget: job.Spec.CoverageTarget,
+		Recording:      wl.rec,
+		Tables:         wl.tab,
+		Progress:       job.onProgress,
+	})
+	switch {
+	case err != nil && (errors.Is(err, context.Canceled) || job.ctx.Err() != nil):
+		job.finish(StateCancelled, "cancelled", nil)
+	case err != nil:
+		job.finish(StateFailed, err.Error(), nil)
+	default:
+		job.finish(StateDone, "", buildResult(wl, res, job.Spec.IncludePerFault, time.Since(start)))
+	}
+}
+
+// buildResult summarizes a finished campaign.
+func buildResult(wl *resolved, res *campaign.Result, includePerFault bool, wall time.Duration) *Result {
+	r := &Result{
+		Coverage:       res.Coverage(),
+		Detected:       res.Run.Detected,
+		HardDetected:   res.Run.HardDetected,
+		Oscillated:     res.Run.Oscillated,
+		NumFaults:      res.Run.NumFaults,
+		Batches:        res.Batches,
+		BatchesRun:     res.BatchesRun,
+		BatchesResumed: res.BatchesResumed,
+		BatchesSkipped: res.BatchesSkipped,
+		GoodWork:       res.Run.GoodWork,
+		FaultWork:      res.Run.FaultWork,
+		WallNS:         wall.Nanoseconds(),
+	}
+	if !includePerFault {
+		return r
+	}
+	r.PerFault = make([]PerFault, len(res.PerFault))
+	for fi := range res.PerFault {
+		o := &res.PerFault[fi]
+		pf := PerFault{
+			Fault:      wl.faults[fi].Describe(wl.nw),
+			Detected:   o.Detected,
+			Oscillated: o.Oscillated,
+			Skipped:    o.Skipped,
+		}
+		if o.Detected {
+			pf.Pattern = o.Detection.Pattern
+			pf.Setting = o.Detection.Setting
+			pf.Output = wl.nw.Name(o.Detection.Output)
+			pf.Good = o.Detection.Good.String()
+			pf.Faulty = o.Detection.Faulty.String()
+			pf.Hard = o.Detection.Hard
+		}
+		r.PerFault[fi] = pf
+	}
+	return r
+}

@@ -1,0 +1,317 @@
+// Job specifications: the JSON body of POST /jobs and its resolution
+// into a runnable workload (network, tables, fault universe, test
+// sequence, recording), with the caches that let concurrent jobs share
+// one set of read-only tables and one recorded good trajectory per
+// circuit/sequence pair.
+package server
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"fmossim/internal/bench"
+	"fmossim/internal/core"
+	"fmossim/internal/fault"
+	"fmossim/internal/march"
+	"fmossim/internal/netlist"
+	"fmossim/internal/ram"
+	"fmossim/internal/switchsim"
+)
+
+// JobSpec is a campaign submission: either a built-in benchmark workload
+// (Workload + Sequence) or an inline circuit (Netlist + Patterns +
+// Observe), a fault universe, and campaign options. The zero value of
+// every optional field selects the documented default.
+type JobSpec struct {
+	// Workload selects a built-in benchmark circuit: "ram64" (the paper's
+	// 8×8 dynamic RAM) or "ram256" (16×16). Mutually exclusive with
+	// Netlist.
+	Workload string `json:"workload,omitempty"`
+	// Sequence selects the built-in test sequence for a Workload:
+	// "sequence1" (control + row/column march + array march; default) or
+	// "sequence2" (control + array march only).
+	Sequence string `json:"sequence,omitempty"`
+	// MaxPatterns truncates the resolved sequence to its first N patterns
+	// (0 = the whole sequence): a cheap way to bound a job's runtime.
+	MaxPatterns int `json:"max_patterns,omitempty"`
+
+	// Netlist is an inline netlist in the internal/netlist text format;
+	// Patterns is an inline pattern script in the cmd/fmossim format
+	// (parsed by switchsim.ParseSequence). Both are required when
+	// Workload is empty.
+	Netlist  string `json:"netlist,omitempty"`
+	Patterns string `json:"patterns,omitempty"`
+	// Observe names the observed output nodes. Defaults to the built-in
+	// workload's data output; required for inline netlists.
+	Observe []string `json:"observe,omitempty"`
+
+	// Faults is an inline fault list in the internal/fault text format.
+	// When empty, FaultModel picks the universe: "paper" (node stuck-at +
+	// bit-line bridges; built-in workloads' default) or "stuck" (node
+	// stuck-at only; inline netlists' default and only choice).
+	Faults     string `json:"faults,omitempty"`
+	FaultModel string `json:"fault_model,omitempty"`
+	// SampleEvery keeps every k-th fault of the resolved universe
+	// (0 or 1 = all): statistical fault sampling for quick estimates.
+	SampleEvery int `json:"sample_every,omitempty"`
+
+	// Campaign options, mirroring cmd/fmossim's flags. Zero values defer
+	// to the campaign engine's defaults, except Shards: a zero Shards is
+	// replaced by the server's fair share (GOMAXPROCS / MaxJobs) so
+	// concurrent jobs do not oversubscribe the machine.
+	BatchSize      int     `json:"batch_size,omitempty"`
+	Shards         int     `json:"shards,omitempty"`
+	Workers        int     `json:"workers,omitempty"`
+	CoverageTarget float64 `json:"coverage_target,omitempty"`
+	// Drop is the fault-dropping policy: "any" (default), "hard", or
+	// "never".
+	Drop string `json:"drop,omitempty"`
+
+	// IncludePerFault adds the per-fault outcome table to the job result.
+	IncludePerFault bool `json:"include_per_fault,omitempty"`
+}
+
+// validate performs the submit-time checks that should 400 instead of
+// failing the job later.
+func (s *JobSpec) validate() error {
+	switch {
+	case s.Workload == "" && s.Netlist == "":
+		return fmt.Errorf("one of workload or netlist is required")
+	case s.Workload != "" && s.Netlist != "":
+		return fmt.Errorf("workload and netlist are mutually exclusive")
+	}
+	if s.Workload != "" {
+		switch s.Workload {
+		case "ram64", "ram256":
+		default:
+			return fmt.Errorf("unknown workload %q (want ram64 or ram256)", s.Workload)
+		}
+		switch s.Sequence {
+		case "", "sequence1", "sequence2":
+		default:
+			return fmt.Errorf("unknown sequence %q (want sequence1 or sequence2)", s.Sequence)
+		}
+	} else {
+		if s.Patterns == "" {
+			return fmt.Errorf("patterns is required with an inline netlist")
+		}
+		if len(s.Observe) == 0 {
+			return fmt.Errorf("observe is required with an inline netlist")
+		}
+	}
+	switch s.FaultModel {
+	case "", "stuck":
+	case "paper":
+		if s.Workload == "" {
+			return fmt.Errorf("fault_model paper requires a built-in workload")
+		}
+	default:
+		return fmt.Errorf("unknown fault_model %q (want paper or stuck)", s.FaultModel)
+	}
+	switch s.Drop {
+	case "", "any", "hard", "never":
+	default:
+		return fmt.Errorf("unknown drop policy %q (want any, hard, or never)", s.Drop)
+	}
+	if s.CoverageTarget < 0 || s.CoverageTarget > 1 {
+		return fmt.Errorf("coverage_target %v out of range (0,1]", s.CoverageTarget)
+	}
+	for _, f := range []struct {
+		name string
+		v    int
+	}{{"max_patterns", s.MaxPatterns}, {"sample_every", s.SampleEvery},
+		{"batch_size", s.BatchSize}, {"shards", s.Shards}, {"workers", s.Workers}} {
+		if f.v < 0 {
+			return fmt.Errorf("%s must be non-negative", f.name)
+		}
+	}
+	return nil
+}
+
+// dropPolicy maps the spec string to the core policy.
+func (s *JobSpec) dropPolicy() core.DropPolicy {
+	switch s.Drop {
+	case "hard":
+		return core.DropHardOnly
+	case "never":
+		return core.NeverDrop
+	}
+	return core.DropAnyDifference
+}
+
+// workloadKey identifies the shareable part of a built-in workload — the
+// circuit plus the exact test sequence — for the Tables and Recording
+// caches. Inline netlists are not cached (the parse is the cheap part;
+// the trajectory depends on the full inline text anyway).
+func (s *JobSpec) workloadKey() (string, bool) {
+	if s.Workload == "" {
+		return "", false
+	}
+	seq := s.Sequence
+	if seq == "" {
+		seq = "sequence1"
+	}
+	return fmt.Sprintf("%s/%s/max=%d", s.Workload, seq, s.MaxPatterns), true
+}
+
+// resolved is a runnable workload: everything campaign.Run needs.
+type resolved struct {
+	nw      *netlist.Network
+	tab     *switchsim.Tables
+	faults  []fault.Fault
+	seq     *switchsim.Sequence
+	observe []netlist.NodeID
+	rec     *switchsim.Recording
+}
+
+// circuitEntry is one cached built-in circuit + sequence: the network and
+// tables are immutable after construction and shared by every job over
+// the workload; the recording is captured once, on first use, under the
+// entry's own lock so concurrent first jobs do not record twice.
+type circuitEntry struct {
+	nw  *netlist.Network
+	m   *ram.RAM
+	tab *switchsim.Tables
+	seq *switchsim.Sequence
+
+	recOnce sync.Once
+	rec     *switchsim.Recording
+}
+
+// cache shares read-only simulation state across jobs.
+type cache struct {
+	mu      sync.Mutex
+	entries map[string]*circuitEntry
+}
+
+func newCache() *cache { return &cache{entries: map[string]*circuitEntry{}} }
+
+// builtin returns (building and caching on first use) the circuit entry
+// for a built-in workload spec.
+func (c *cache) builtin(spec *JobSpec) *circuitEntry {
+	key, ok := spec.workloadKey()
+	if !ok {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e := c.entries[key]; e != nil {
+		return e
+	}
+	var m *ram.RAM
+	if spec.Workload == "ram256" {
+		m = ram.RAM256()
+	} else {
+		m = ram.RAM64()
+	}
+	var seq *switchsim.Sequence
+	if spec.Sequence == "sequence2" {
+		seq = march.Sequence2(m)
+	} else {
+		seq = march.Sequence1(m)
+	}
+	truncate(seq, spec.MaxPatterns)
+	e := &circuitEntry{nw: m.Net, m: m, tab: switchsim.NewTables(m.Net), seq: seq}
+	c.entries[key] = e
+	return e
+}
+
+// recording captures (once) and returns the entry's good trajectory.
+func (e *circuitEntry) recording() *switchsim.Recording {
+	e.recOnce.Do(func() {
+		e.rec = core.Record(e.nw, e.seq, core.Options{})
+	})
+	return e.rec
+}
+
+// truncate clips seq to its first n patterns (no-op when n is 0 or
+// already covers the sequence).
+func truncate(seq *switchsim.Sequence, n int) {
+	if n > 0 && n < len(seq.Patterns) {
+		seq.Patterns = seq.Patterns[:n]
+	}
+}
+
+// resolve turns a validated spec into a runnable workload, sharing cached
+// tables and trajectories for built-in workloads.
+func (m *Manager) resolve(spec *JobSpec) (*resolved, error) {
+	if spec.Workload != "" {
+		e := m.cache.builtin(spec)
+		r := &resolved{nw: e.nw, tab: e.tab, seq: e.seq, rec: e.recording()}
+		r.observe = []netlist.NodeID{e.m.DataOut}
+		if len(spec.Observe) > 0 {
+			var err error
+			if r.observe, err = lookupNodes(e.nw, spec.Observe); err != nil {
+				return nil, err
+			}
+		}
+		var err error
+		if r.faults, err = resolveFaults(spec, e.nw, e.m); err != nil {
+			return nil, err
+		}
+		return r, nil
+	}
+
+	nw, err := netlist.Read(strings.NewReader(spec.Netlist))
+	if err != nil {
+		return nil, fmt.Errorf("netlist: %w", err)
+	}
+	seq, err := switchsim.ParseSequence(strings.NewReader(spec.Patterns), "patterns", nw)
+	if err != nil {
+		return nil, err
+	}
+	truncate(seq, spec.MaxPatterns)
+	r := &resolved{nw: nw, tab: switchsim.NewTables(nw), seq: seq}
+	if r.observe, err = lookupNodes(nw, spec.Observe); err != nil {
+		return nil, err
+	}
+	if r.faults, err = resolveFaults(spec, nw, nil); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// resolveFaults builds the job's fault universe: inline list, or the
+// model default, then sampling.
+func resolveFaults(spec *JobSpec, nw *netlist.Network, m *ram.RAM) ([]fault.Fault, error) {
+	var faults []fault.Fault
+	switch {
+	case spec.Faults != "":
+		var err error
+		faults, err = fault.ReadList(strings.NewReader(spec.Faults), nw)
+		if err != nil {
+			return nil, fmt.Errorf("faults: %w", err)
+		}
+	case spec.FaultModel == "paper" || (spec.FaultModel == "" && m != nil):
+		if m == nil {
+			return nil, fmt.Errorf("fault_model paper requires a built-in workload")
+		}
+		faults = bench.PaperFaults(m)
+	default:
+		faults = fault.NodeStuckFaults(nw, fault.Options{})
+	}
+	if k := spec.SampleEvery; k > 1 {
+		sampled := make([]fault.Fault, 0, (len(faults)+k-1)/k)
+		for i := 0; i < len(faults); i += k {
+			sampled = append(sampled, faults[i])
+		}
+		faults = sampled
+	}
+	if len(faults) == 0 {
+		return nil, fmt.Errorf("empty fault universe")
+	}
+	return faults, nil
+}
+
+func lookupNodes(nw *netlist.Network, names []string) ([]netlist.NodeID, error) {
+	out := make([]netlist.NodeID, 0, len(names))
+	for _, name := range names {
+		id := nw.Lookup(strings.TrimSpace(name))
+		if id == netlist.NoNode {
+			return nil, fmt.Errorf("unknown observed node %q", name)
+		}
+		out = append(out, id)
+	}
+	return out, nil
+}

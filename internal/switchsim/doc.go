@@ -1,0 +1,44 @@
+// Package switchsim implements the switch-level simulation kernel shared
+// by the logic simulator (MOSSIM-II equivalent) and the concurrent fault
+// simulator (FMOSSIM, internal/core).
+//
+// The kernel computes the behavior of a circuit for each change in network
+// inputs by repeatedly computing the steady-state response of the network
+// until a stable state is reached. Only node states in the vicinity of a
+// perturbed node are computed, where a node is perturbed if it is the
+// source or drain of a transistor that has changed state, or if it is
+// connected by a conducting transistor to an input node that has changed
+// state. The vicinity of a node is the set of storage nodes connected by
+// paths of conducting (state 1 or X) transistors that do not pass through
+// input nodes: the model's dynamic locality.
+//
+// The main components:
+//
+//   - Tables: immutable per-network structure (CSR adjacency, input
+//     flags), built once and safely shared by any number of circuits,
+//     solvers, batches, and server jobs.
+//   - Circuit: the dynamic state of one circuit instance.
+//   - Solver: the steady-state settling engine, including the
+//     trajectory-guided replay path (SettleReplay) faulty circuits use to
+//     adopt provably identical regions of the good circuit's settle.
+//   - Simulator: the user-facing logic simulator driving test sequences.
+//   - Recording/StepTrace: the serializable trajectory artifact described
+//     below.
+//
+// # Recording fingerprint contract
+//
+// A Recording is the good circuit's captured trajectory over one test
+// sequence: per-setting input deltas, changed and explored sets, the
+// initialization settle, and the per-vicinity adoption trajectories. It
+// is bound to the exact network and sequence it was captured over, and it
+// carries a structural fingerprint — the network's node and transistor
+// counts plus the recording's setting count — that Validate checks
+// against the replaying network and sequence before any use. Encode and
+// DecodeRecording round-trip the artifact through a varint binary format,
+// fingerprint included, so a recording captured in one process replays
+// in another (or on another machine) with the same validation and the
+// same results. The fingerprint is deliberately structural rather than
+// content-addressed: two networks with equal shape but different
+// connectivity defeat it, so callers shipping recordings across trust
+// boundaries should pair them with their netlist source.
+package switchsim

@@ -1,0 +1,28 @@
+package switchsim_test
+
+import (
+	"fmt"
+
+	"fmossim/internal/gates"
+	"fmossim/internal/logic"
+	"fmossim/internal/netlist"
+	"fmossim/internal/switchsim"
+)
+
+// ExampleSimulator drives an nMOS inverter through both input values.
+func ExampleSimulator() {
+	b := netlist.NewBuilder(logic.Scale{Sizes: 2, Strengths: 2})
+	in := b.Input("in", logic.Lo)
+	out := b.Node("out")
+	gates.NInv(b, in, out, "inv")
+	nw := b.Finalize()
+
+	sim := switchsim.NewSimulator(nw)
+	sim.MustSet(map[string]logic.Value{"in": logic.Lo})
+	fmt.Println("in=0 out =", sim.Value("out"))
+	sim.MustSet(map[string]logic.Value{"in": logic.Hi})
+	fmt.Println("in=1 out =", sim.Value("out"))
+	// Output:
+	// in=0 out = 1
+	// in=1 out = 0
+}

@@ -1,0 +1,70 @@
+// Pattern-script parsing: the line-oriented test-sequence format shared
+// by cmd/fmossim and the fmossimd job server.
+package switchsim
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+
+	"fmossim/internal/logic"
+	"fmossim/internal/netlist"
+)
+
+// ParseSequence reads a pattern script: each non-empty line that is not a
+// comment ("#" or "|" prefixed) is one input setting of "name=value"
+// assignments, and a line "pattern [NAME]" starts a new pattern (clock
+// cycle). The returned sequence is named name; positions in errors use it
+// too.
+func ParseSequence(r io.Reader, name string, nw *netlist.Network) (*Sequence, error) {
+	seq := &Sequence{Name: name}
+	cur := &Pattern{Name: "p0"}
+	flush := func() {
+		if len(cur.Settings) > 0 {
+			seq.Patterns = append(seq.Patterns, *cur)
+		}
+	}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "|") || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if fields[0] == "pattern" {
+			flush()
+			pname := fmt.Sprintf("p%d", len(seq.Patterns))
+			if len(fields) > 1 {
+				pname = fields[1]
+			}
+			cur = &Pattern{Name: pname}
+			continue
+		}
+		var set Setting
+		for _, tok := range fields {
+			eq := strings.IndexByte(tok, '=')
+			if eq < 0 {
+				return nil, fmt.Errorf("%s:%d: expected name=value, got %q", name, lineNo, tok)
+			}
+			id := nw.Lookup(tok[:eq])
+			if id == netlist.NoNode {
+				return nil, fmt.Errorf("%s:%d: unknown node %q", name, lineNo, tok[:eq])
+			}
+			v, err := logic.ParseValue(tok[eq+1:])
+			if err != nil {
+				return nil, fmt.Errorf("%s:%d: %v", name, lineNo, err)
+			}
+			set = append(set, Assignment{Node: id, Value: v})
+		}
+		cur.Settings = append(cur.Settings, set)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("%s: %v", name, err)
+	}
+	flush()
+	return seq, nil
+}

@@ -1,16 +1,5 @@
-// Package switchsim implements the switch-level simulation kernel shared
-// by the logic simulator (MOSSIM-II equivalent) and the concurrent fault
-// simulator (FMOSSIM, internal/core).
-//
-// The kernel computes the behavior of a circuit for each change in network
-// inputs by repeatedly computing the steady-state response of the network
-// until a stable state is reached. Only node states in the vicinity of a
-// perturbed node are computed, where a node is perturbed if it is the
-// source or drain of a transistor that has changed state, or if it is
-// connected by a conducting transistor to an input node that has changed
-// state. The vicinity of a node is the set of storage nodes connected by
-// paths of conducting (state 1 or X) transistors that do not pass through
-// input nodes: the model's dynamic locality.
+// Sequence/pattern/setting types and work counters. Package
+// documentation lives in doc.go.
 package switchsim
 
 import (
