@@ -1,0 +1,22 @@
+// Command docscheck verifies the repository's documentation invariants:
+// intra-repository markdown links and Go package documentation.
+//
+// Markdown: every relative link target must exist on disk, and every
+// fragment must match a heading in the target document. External
+// (http/https/mailto) links are ignored — CI must not depend on the
+// network.
+//
+// Go package docs (with -godoc DIR): the root package and every package
+// under DIR/internal and DIR/cmd must have a doc.go whose package
+// comment exists and starts with "Package <name>" (library packages) or
+// "Command <name>" (main packages), the godoc conventions.
+//
+// Usage:
+//
+//	docscheck README.md DESIGN.md EXPERIMENTS.md
+//	docscheck -godoc . $(git ls-files '*.md')
+//	docscheck            # checks every *.md in the current directory
+//
+// Exits non-zero listing each problem as FILE:LINE: message (markdown)
+// or DIR: message (package docs).
+package main

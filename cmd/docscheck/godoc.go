@@ -1,0 +1,95 @@
+// Go package-doc enforcement: every package in the repository's
+// library/command tree must carry a doc.go whose package comment follows
+// the godoc conventions, so `go doc` always has something to say and the
+// package index reads as a map of the system.
+package main
+
+import (
+	"fmt"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// checkGoDocs walks the root package plus root/internal and root/cmd and
+// returns one problem line per violation, plus the number of packages
+// checked. A package (a directory with non-test .go files) violates when
+// it has no doc.go, when doc.go has no package comment, or when the
+// comment does not start with "Package <name>" ("Command <name>" for
+// main packages).
+func checkGoDocs(root string) ([]string, int) {
+	var dirs []string
+	if hasGoFiles(root) {
+		dirs = append(dirs, root)
+	}
+	for _, sub := range []string{"internal", "cmd"} {
+		filepath.WalkDir(filepath.Join(root, sub), func(path string, d os.DirEntry, err error) error {
+			if err != nil || !d.IsDir() {
+				return nil
+			}
+			if hasGoFiles(path) {
+				dirs = append(dirs, path)
+			}
+			return nil
+		})
+	}
+	sort.Strings(dirs)
+
+	var problems []string
+	for _, dir := range dirs {
+		if msg := checkPackageDoc(dir); msg != "" {
+			problems = append(problems, fmt.Sprintf("%s: %s", dir, msg))
+		}
+	}
+	return problems, len(dirs)
+}
+
+// hasGoFiles reports whether dir directly contains non-test Go files.
+func hasGoFiles(dir string) bool {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return false
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if !e.IsDir() && strings.HasSuffix(name, ".go") && !strings.HasSuffix(name, "_test.go") {
+			return true
+		}
+	}
+	return false
+}
+
+// checkPackageDoc validates dir's doc.go package comment.
+func checkPackageDoc(dir string) string {
+	path := filepath.Join(dir, "doc.go")
+	if _, err := os.Stat(path); err != nil {
+		return "missing doc.go (every package documents itself in a doc.go)"
+	}
+	f, err := parser.ParseFile(token.NewFileSet(), path, nil, parser.ParseComments)
+	if err != nil {
+		return fmt.Sprintf("doc.go does not parse: %v", err)
+	}
+	if f.Doc == nil || strings.TrimSpace(f.Doc.Text()) == "" {
+		return "doc.go has no package comment"
+	}
+	want := "Package " + f.Name.Name
+	if f.Name.Name == "main" {
+		want = "Command " + filepath.Base(dir)
+	}
+	if text := f.Doc.Text(); !strings.HasPrefix(text, want+" ") && !strings.HasPrefix(text, want+"\n") {
+		return fmt.Sprintf("package comment must start with %q (godoc convention), starts %q",
+			want, firstWords(f.Doc.Text(), 4))
+	}
+	return ""
+}
+
+func firstWords(s string, n int) string {
+	words := strings.Fields(s)
+	if len(words) > n {
+		words = words[:n]
+	}
+	return strings.Join(words, " ")
+}

@@ -1,18 +1,10 @@
-// Command docscheck verifies intra-repository markdown links: every
-// relative link target must exist on disk, and every fragment must match
-// a heading in the target document. External (http/https/mailto) links
-// are ignored — CI must not depend on the network.
-//
-// Usage:
-//
-//	docscheck README.md DESIGN.md EXPERIMENTS.md
-//	docscheck            # checks every *.md in the current directory
-//
-// Exits non-zero listing each dead link as FILE:LINE: message.
+// Markdown link checking and the CLI entry point; the Go package-doc
+// check lives in godoc.go and the command is documented in doc.go.
 package main
 
 import (
 	"bufio"
+	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -28,8 +20,10 @@ var linkRe = regexp.MustCompile(`\[[^\]]*\]\(([^)\s]+)(?:\s+"[^"]*")?\)`)
 var headingRe = regexp.MustCompile(`^#{1,6}\s+(.*?)\s*#*\s*$`)
 
 func main() {
-	files := os.Args[1:]
-	if len(files) == 0 {
+	godoc := flag.String("godoc", "", "also enforce Go package docs: every package under DIR, DIR/internal and DIR/cmd needs a doc.go with a conventional package comment")
+	flag.Parse()
+	files := flag.Args()
+	if len(files) == 0 && *godoc == "" {
 		var err error
 		files, err = filepath.Glob("*.md")
 		if err != nil || len(files) == 0 {
@@ -45,11 +39,20 @@ func main() {
 			bad++
 		}
 	}
+	checkedPkgs := 0
+	if *godoc != "" {
+		problems, n := checkGoDocs(*godoc)
+		checkedPkgs = n
+		for _, problem := range problems {
+			fmt.Println(problem)
+			bad++
+		}
+	}
 	if bad > 0 {
-		fmt.Fprintf(os.Stderr, "docscheck: %d dead link(s)\n", bad)
+		fmt.Fprintf(os.Stderr, "docscheck: %d problem(s)\n", bad)
 		os.Exit(1)
 	}
-	fmt.Printf("docscheck: %d file(s) clean\n", len(files))
+	fmt.Printf("docscheck: %d file(s), %d package(s) clean\n", len(files), checkedPkgs)
 }
 
 func checkFile(path string) []string {

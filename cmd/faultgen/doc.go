@@ -1,0 +1,7 @@
+// Command faultgen enumerates fault universes from a netlist and writes
+// them as fault-list files for cmd/fmossim.
+//
+// Usage:
+//
+//	faultgen -net circuit.sim -classes node,trans -sample 100 -seed 1 > faults.txt
+package main

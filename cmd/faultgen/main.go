@@ -1,9 +1,4 @@
-// Command faultgen enumerates fault universes from a netlist and writes
-// them as fault-list files for cmd/fmossim.
-//
-// Usage:
-//
-//	faultgen -net circuit.sim -classes node,trans -sample 100 -seed 1 > faults.txt
+// Entry point; the command is documented in doc.go.
 package main
 
 import (

@@ -1,0 +1,25 @@
+// Command fmossim runs a concurrent switch-level fault simulation: it
+// reads a netlist, a fault list, and a pattern script, simulates all
+// faults concurrently against the good circuit, and reports coverage.
+//
+// Usage:
+//
+//	fmossim -net circuit.sim -faults faults.txt -patterns test.pat -observe out
+//
+// The pattern script is line-oriented: each non-empty, non-comment line is
+// one input setting "name=value name=value ...", and a line "pattern
+// [NAME]" starts a new pattern (clock cycle). Outputs are observed after
+// every setting.
+//
+// Fault-list and netlist formats are documented in internal/fault and
+// internal/netlist. With -faults omitted, all storage-node stuck-at
+// faults are simulated.
+//
+// Large fault universes can run as a sharded campaign: -batch N splits
+// the fault list into batches of N faults, -shards N replays that many
+// batches concurrently against a once-recorded good-circuit trajectory,
+// -coverage-target F stops early once the detected fraction reaches F,
+// and -checkpoint FILE makes the campaign resumable (completed batches
+// are reloaded instead of re-simulated). Campaign results are
+// bit-identical to the monolithic run.
+package main

@@ -1,20 +1,4 @@
-// Command mossim is a script-driven switch-level logic simulator (the
-// MOSSIM-II-equivalent component of this library).
-//
-// Usage:
-//
-//	mossim -net circuit.sim -script sim.txt
-//
-// Script commands, one per line:
-//
-//	set NAME=VALUE ...    assign inputs and settle
-//	show NAME ...         print node states
-//	watch NAME ...        print these nodes after every set
-//	reset                 reinitialize the circuit
-//	| comment
-//
-// With -vcd FILE, every settled input setting is sampled into a Value
-// Change Dump viewable in GTKWave and similar tools.
+// Entry point; the command is documented in doc.go.
 package main
 
 import (

@@ -1,10 +1,4 @@
-// Command ramgen emits the benchmark RAM circuits as netlist files, and
-// optionally the marching-test pattern scripts that exercise them (in the
-// format cmd/fmossim reads).
-//
-// Usage:
-//
-//	ramgen -rows 8 -cols 8 -net ram64.sim -patterns seq1.pat -seq 1
+// Entry point; the command is documented in doc.go.
 package main
 
 import (

@@ -8,11 +8,13 @@ import (
 
 	"fmossim/internal/campaign"
 	"fmossim/internal/core"
+	"fmossim/internal/distrib"
 	"fmossim/internal/fault"
 	"fmossim/internal/logic"
 	"fmossim/internal/netlist"
 	"fmossim/internal/ram"
 	"fmossim/internal/serial"
+	"fmossim/internal/server"
 	"fmossim/internal/switchsim"
 	"fmossim/internal/trace"
 )
@@ -185,6 +187,31 @@ func Campaign(nw *Network, faults []Fault, seq *Sequence, opts CampaignOptions) 
 // time-bound jobs.
 func CampaignContext(ctx context.Context, nw *Network, faults []Fault, seq *Sequence, opts CampaignOptions) (*CampaignResult, error) {
 	return campaign.Run(ctx, nw, faults, seq, opts)
+}
+
+// Distributed fault campaigns (many fmossimd workers, one merged result).
+type (
+	// JobSpec describes a campaign workload to the fmossimd job server —
+	// and, handed to DistributedCampaign, the workload a coordinator fans
+	// out across a worker pool.
+	JobSpec = server.JobSpec
+	// DistribOptions configures the distributed coordinator: the worker
+	// pool, per-worker in-flight bound, shard size, retry budget, and the
+	// merged progress callback.
+	DistribOptions = distrib.Options
+)
+
+// DistributedCampaign spreads one fault campaign across a pool of
+// fmossimd workers: the good trajectory is recorded (or taken from
+// opts.Recording) and uploaded to each worker once by content
+// fingerprint, the fault universe is partitioned into shard jobs
+// dispatched over the workers' HTTP job API with retry/requeue on worker
+// failure, and the per-shard batch results merge at setting granularity
+// into a result bit-identical to Campaign on one machine with the same
+// batch size. spec.CoverageTarget stops the campaign early cluster-wide;
+// cancelling ctx cancels every outstanding worker job.
+func DistributedCampaign(ctx context.Context, spec JobSpec, opts DistribOptions) (*CampaignResult, error) {
+	return distrib.Run(ctx, spec, opts)
 }
 
 // Serial reference simulation.

@@ -1,14 +1,5 @@
-// Package bench is the experiment harness: it re-runs every measurement
-// of the paper's evaluation section (Figures 1-3 and the scaling result)
-// on the generated RAM circuits and reports both deterministic solver
-// work units and wall-clock time. Absolute numbers differ from a 1985
-// VAX-11/780, so the comparison is over shapes: ratios, head/tail
-// structure, linearity and scaling exponents.
-//
-// EXPERIMENTS.md at the repository root is the user-facing guide: it
-// maps each figure to its cmd/benchtab invocation, documents the
-// BENCH_results.json schema this harness feeds, and records the
-// implementation's own performance trajectory.
+// Experiment harness entry points and the paper's fault universes.
+// Package documentation lives in doc.go.
 package bench
 
 import (

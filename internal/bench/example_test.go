@@ -1,0 +1,21 @@
+package bench_test
+
+import (
+	"fmt"
+
+	"fmossim/internal/bench"
+	"fmossim/internal/ram"
+)
+
+// ExamplePaperFaults enumerates the paper's fault universe for the 8×8
+// RAM: every storage-node stuck-at fault plus the adjacent-bit-line
+// shorts.
+func ExamplePaperFaults() {
+	m := ram.RAM64()
+	faults := bench.PaperFaults(m)
+	fmt.Printf("RAM64 paper universe: %d faults\n", len(faults))
+	fmt.Println("first:", faults[0].Describe(m.Net))
+	// Output:
+	// RAM64 paper universe: 456 faults
+	// first: ab0 sa0
+}

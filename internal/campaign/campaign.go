@@ -267,13 +267,7 @@ func Run(ctx context.Context, nw *netlist.Network, faults []fault.Fault, seq *sw
 		target = int64(math.Ceil(opts.CoverageTarget * float64(nf)))
 	}
 	countDetected := func(br *core.BatchResult) int64 {
-		var n int64
-		for _, d := range br.Detected {
-			if d {
-				n++
-			}
-		}
-		return n
+		return int64(br.DetectedCount())
 	}
 	for _, br := range results {
 		if br != nil {
@@ -390,7 +384,7 @@ func Run(ctx context.Context, nw *netlist.Network, faults []fault.Fault, seq *sw
 		return nil, firstErr
 	}
 
-	res := merge(rec, seq, nf, batchSize, results)
+	res := Merge(rec, seq, nf, batchSize, results)
 	res.Batches = nBatches
 	res.BatchesRun = int(ran.Load())
 	res.BatchesResumed = resumed
@@ -398,13 +392,22 @@ func Run(ctx context.Context, nw *netlist.Network, faults []fault.Fault, seq *sw
 	return res, nil
 }
 
-// merge combines per-batch results into a monolithic-equivalent
+// Merge combines per-batch results into a monolithic-equivalent
 // core.Result plus per-fault outcomes. Batches are merged at setting
 // granularity: per-setting active-circuit and live counts sum across
 // batches (each fault lives in exactly one), so pattern aggregates like
 // MaxActive match a monolithic run exactly. Good-circuit work and time
 // come from the recording, counted once.
-func merge(rec *switchsim.Recording, seq *switchsim.Sequence, nf, batchSize int, results []*core.BatchResult) *Result {
+//
+// results is indexed by batch: batch i covers universe faults
+// [i*batchSize, min((i+1)*batchSize, nf)). A nil entry marks a batch that
+// was never simulated; its faults merge as Skipped. Merge is the single
+// determinism point shared by Run and by distributed coordinators
+// (internal/distrib): any scheduler that produces the same per-batch
+// results — on one machine or many — merges to the same Result. The
+// caller owns the Batches/BatchesRun/BatchesResumed/BatchesSkipped
+// accounting fields.
+func Merge(rec *switchsim.Recording, seq *switchsim.Sequence, nf, batchSize int, results []*core.BatchResult) *Result {
 	nSettings := seq.NumSettings()
 	res := &Result{Recording: rec}
 	res.Run = core.Result{Sequence: seq.Name, NumFaults: nf}

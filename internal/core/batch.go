@@ -529,6 +529,17 @@ type BatchResult struct {
 	Records []map[netlist.NodeID]logic.Value `json:"records,omitempty"`
 }
 
+// DetectedCount returns the number of detected faults in the batch.
+func (br *BatchResult) DetectedCount() int {
+	n := 0
+	for _, d := range br.Detected {
+		if d {
+			n++
+		}
+	}
+	return n
+}
+
 // RunRecording replays a captured good trajectory against the batch: the
 // initialization step first, then every pattern of seq with observations
 // at its observe points. The batch must be freshly constructed. The

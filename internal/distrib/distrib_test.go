@@ -1,0 +1,268 @@
+package distrib_test
+
+import (
+	"context"
+	"net/http/httptest"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"fmossim/internal/campaign"
+	"fmossim/internal/core"
+	"fmossim/internal/distrib"
+	"fmossim/internal/server"
+	"fmossim/internal/switchsim"
+)
+
+// newWorkerPool starts n independent fmossimd workers (each its own
+// Manager over httptest) and returns their base URLs plus the servers for
+// mid-run manipulation.
+func newWorkerPool(t *testing.T, n int, cfg server.Config) ([]string, []*httptest.Server) {
+	t.Helper()
+	if cfg.StreamInterval == 0 {
+		cfg.StreamInterval = 2 * time.Millisecond
+	}
+	urls := make([]string, n)
+	servers := make([]*httptest.Server, n)
+	for i := 0; i < n; i++ {
+		mgr := server.NewManager(cfg)
+		ts := httptest.NewServer(mgr.Handler())
+		t.Cleanup(func() {
+			ts.Close()
+			mgr.Close()
+		})
+		urls[i] = ts.URL
+		servers[i] = ts
+	}
+	return urls, servers
+}
+
+// ram256Spec is the distributed equivalence workload: the paper's big
+// circuit, sampled and truncated to test size exactly as in the server
+// suite.
+func ram256Spec() server.JobSpec {
+	return server.JobSpec{
+		Workload:    "ram256",
+		Sequence:    "sequence1",
+		MaxPatterns: 60,
+		FaultModel:  "paper",
+		SampleEvery: 8,
+	}
+}
+
+// resolveAndRecord resolves the spec locally and records the good
+// trajectory once; passing the same Recording to both the monolithic
+// baseline and the coordinator makes even the good-side wall-clock
+// figures identical, so only fault-side NS fields need masking.
+func resolveAndRecord(t *testing.T, spec server.JobSpec) (*server.Workload, *switchsim.Recording) {
+	t.Helper()
+	wl, err := server.ResolveSpec(&spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return wl, core.Record(wl.Net, wl.Seq, core.Options{})
+}
+
+func monolithic(t *testing.T, wl *server.Workload, rec *switchsim.Recording, batchSize int) *campaign.Result {
+	t.Helper()
+	res, err := campaign.Run(context.Background(), wl.Net, wl.Faults, wl.Seq, campaign.Options{
+		Sim:       core.Options{Observe: wl.Observe},
+		BatchSize: batchSize,
+		Recording: rec,
+		Tables:    wl.Tables,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// assertIdentical checks the distributed result against the monolithic
+// one on every deterministic field: merged aggregates, per-pattern
+// statistics (fault-side wall clock masked — it is measured, not
+// derived), and the full per-fault outcome table including divergence
+// records.
+func assertIdentical(t *testing.T, got, want *campaign.Result) {
+	t.Helper()
+	if got.Run.Detected != want.Run.Detected || got.Run.HardDetected != want.Run.HardDetected ||
+		got.Run.Oscillated != want.Run.Oscillated || got.Run.NumFaults != want.Run.NumFaults {
+		t.Fatalf("aggregates: got %d/%d/%d of %d, want %d/%d/%d of %d",
+			got.Run.Detected, got.Run.HardDetected, got.Run.Oscillated, got.Run.NumFaults,
+			want.Run.Detected, want.Run.HardDetected, want.Run.Oscillated, want.Run.NumFaults)
+	}
+	if got.Run.GoodWork != want.Run.GoodWork || got.Run.FaultWork != want.Run.FaultWork {
+		t.Fatalf("work: got good %d faulty %d, want %d %d",
+			got.Run.GoodWork, got.Run.FaultWork, want.Run.GoodWork, want.Run.FaultWork)
+	}
+	if len(got.Run.PerPattern) != len(want.Run.PerPattern) {
+		t.Fatalf("pattern count %d, want %d", len(got.Run.PerPattern), len(want.Run.PerPattern))
+	}
+	for pi := range want.Run.PerPattern {
+		g, w := got.Run.PerPattern[pi], want.Run.PerPattern[pi]
+		g.FaultNS, w.FaultNS = 0, 0
+		if !reflect.DeepEqual(g, w) {
+			t.Fatalf("pattern %d stats: got %+v, want %+v", pi, g, w)
+		}
+	}
+	if len(got.PerFault) != len(want.PerFault) {
+		t.Fatalf("per-fault rows %d, want %d", len(got.PerFault), len(want.PerFault))
+	}
+	for fi := range want.PerFault {
+		if !reflect.DeepEqual(got.PerFault[fi], want.PerFault[fi]) {
+			t.Fatalf("fault %d: got %+v, want %+v", fi, got.PerFault[fi], want.PerFault[fi])
+		}
+	}
+}
+
+// TestDistributedMatchesMonolithic: a RAM256 campaign over three workers
+// merges bit-identically to campaign.Run on one machine, and the merged
+// progress stream is monotonic.
+func TestDistributedMatchesMonolithic(t *testing.T) {
+	spec := ram256Spec()
+	wl, rec := resolveAndRecord(t, spec)
+	want := monolithic(t, wl, rec, 32)
+
+	urls, _ := newWorkerPool(t, 3, server.Config{MaxJobs: 2})
+	var mu sync.Mutex
+	lastDetected := -1
+	monotonic := true
+	got, err := distrib.Run(context.Background(), spec, distrib.Options{
+		Workers:   urls,
+		BatchSize: 32,
+		Recording: rec,
+		Progress: func(ev campaign.ProgressEvent) {
+			mu.Lock()
+			if ev.Detected < lastDetected {
+				monotonic = false
+			}
+			lastDetected = ev.Detected
+			mu.Unlock()
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !monotonic {
+		t.Error("merged Detected counter regressed across progress events")
+	}
+	if lastDetected != want.Run.Detected {
+		t.Errorf("final streamed detected %d, want %d", lastDetected, want.Run.Detected)
+	}
+	if got.BatchesRun != got.Batches || got.BatchesSkipped != 0 {
+		t.Errorf("batches: %d run, %d skipped of %d", got.BatchesRun, got.BatchesSkipped, got.Batches)
+	}
+	assertIdentical(t, got, want)
+}
+
+// TestWorkerKilledMidRun: killing one of three workers mid-campaign
+// requeues its shards onto the survivors and the merged result is still
+// bit-identical to the monolithic baseline.
+func TestWorkerKilledMidRun(t *testing.T) {
+	spec := ram256Spec()
+	wl, rec := resolveAndRecord(t, spec)
+	want := monolithic(t, wl, rec, 16) // 16 → more shards, so the kill lands mid-queue
+
+	urls, servers := newWorkerPool(t, 3, server.Config{MaxJobs: 2})
+	var kill sync.Once
+	got, err := distrib.Run(context.Background(), spec, distrib.Options{
+		Workers:   urls,
+		BatchSize: 16,
+		Recording: rec,
+		Logf:      t.Logf,
+		Progress: func(ev campaign.ProgressEvent) {
+			// First sign of simulation progress: take worker 0 down hard
+			// (in-flight streams break, later dials are refused).
+			kill.Do(func() {
+				go func() {
+					servers[0].CloseClientConnections()
+					servers[0].Close()
+				}()
+			})
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.BatchesRun != got.Batches {
+		t.Errorf("batches: %d run of %d", got.BatchesRun, got.Batches)
+	}
+	assertIdentical(t, got, want)
+}
+
+// TestCoverageTargetStopsEarly: a cluster-wide coverage target stops
+// dispatch, cancels outstanding shards, and reports the rest skipped with
+// the target actually met.
+func TestCoverageTargetStopsEarly(t *testing.T) {
+	spec := server.JobSpec{
+		Workload:       "ram64",
+		Sequence:       "sequence1",
+		FaultModel:     "paper",
+		CoverageTarget: 0.25,
+	}
+	urls, _ := newWorkerPool(t, 2, server.Config{MaxJobs: 2})
+	got, err := distrib.Run(context.Background(), spec, distrib.Options{
+		Workers:   urls,
+		BatchSize: 24,
+		InFlight:  1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Coverage() < 0.25 {
+		t.Fatalf("coverage %v below target", got.Coverage())
+	}
+	if got.BatchesRun+got.BatchesSkipped != got.Batches {
+		t.Fatalf("batch accounting: %d run + %d skipped != %d",
+			got.BatchesRun, got.BatchesSkipped, got.Batches)
+	}
+	skipped := 0
+	for _, o := range got.PerFault {
+		if o.Skipped {
+			skipped++
+		}
+	}
+	if got.BatchesSkipped > 0 && skipped == 0 {
+		t.Errorf("%d batches skipped but no fault marked skipped", got.BatchesSkipped)
+	}
+}
+
+// TestCancelPropagates: cancelling the coordinator context cancels the
+// outstanding worker jobs (none left running) and returns the context
+// error.
+func TestCancelPropagates(t *testing.T) {
+	spec := server.JobSpec{Workload: "ram256", Sequence: "sequence1", FaultModel: "paper"}
+	urls, _ := newWorkerPool(t, 2, server.Config{MaxJobs: 1})
+
+	ctx, cancel := context.WithCancel(context.Background())
+	var once sync.Once
+	res, err := distrib.Run(ctx, spec, distrib.Options{
+		Workers:   urls,
+		BatchSize: 64,
+		Progress: func(campaign.ProgressEvent) {
+			once.Do(cancel)
+		},
+	})
+	if err == nil || res != nil {
+		t.Fatalf("cancelled run returned (%v, %v)", res, err)
+	}
+	if ctx.Err() == nil {
+		t.Fatal("context not cancelled")
+	}
+}
+
+// TestRunValidation: misconfigurations fail fast.
+func TestRunValidation(t *testing.T) {
+	if _, err := distrib.Run(context.Background(), ram256Spec(), distrib.Options{}); err == nil {
+		t.Error("no workers: want error")
+	}
+	shard := ram256Spec()
+	shard.ShardLo, shard.ShardHi = 0, 8
+	if _, err := distrib.Run(context.Background(), shard, distrib.Options{Workers: []string{"http://x"}}); err == nil {
+		t.Error("shard spec: want error")
+	}
+	bad := server.JobSpec{Workload: "ram1024"}
+	if _, err := distrib.Run(context.Background(), bad, distrib.Options{Workers: []string{"http://x"}}); err == nil {
+		t.Error("bad workload: want error")
+	}
+}

@@ -1,0 +1,42 @@
+// Package distrib is the distributed-campaign coordinator: it spreads
+// one fault campaign across a pool of fmossimd workers, completing the
+// amortization ladder the paper starts. FMOSSIM's concurrent algorithm
+// amortizes one good-circuit simulation across the fault universe of one
+// process; the campaign engine amortizes one recorded trajectory across
+// batches; the job server amortizes it across jobs; distrib amortizes it
+// across machines — the coordinator records (or is handed) the
+// good-circuit switchsim.Recording exactly once, uploads its encoded
+// bytes to each worker under their content fingerprint, and dispatches
+// shard jobs that replay it, so a campaign of W workers × B shards pays
+// for exactly one good-circuit simulation, cluster-wide.
+//
+// # Execution model
+//
+// Run resolves the workload spec locally with server.ResolveSpec — the
+// byte-for-byte resolution path workers use — so the coordinator's shard
+// windows [lo, hi) index the identical fault universe on every worker.
+// The universe is partitioned into batches of BatchSize faults; each
+// batch becomes one shard job (POST /jobs with shard_lo/shard_hi,
+// recording_fp, include_batch) on the existing fmossimd job API. Worker
+// slots (InFlight per worker) pull shards from a shared queue, stream
+// each job's NDJSON progress, and return the raw core.BatchResult from
+// the terminal result line.
+//
+// Failures requeue: a shard whose worker dies mid-stream (connection
+// refused, broken stream, failed job) goes back on the queue with its
+// attempt count incremented and is preferentially picked up by a
+// different worker; a shard exhausting MaxAttempts fails the campaign.
+// Cancelling the context — or reaching CoverageTarget — stops dispatch
+// and propagates DELETE to every outstanding job, cluster-wide.
+//
+// # Determinism
+//
+// The merged result is bit-identical to a single-process campaign.Run
+// over the same spec and batch size: shard jobs run core.RunBatch (whose
+// results are deterministic for every worker count) against the same
+// fingerprinted recording, and the coordinator merges the per-batch
+// results with campaign.Merge — the same setting-granularity merge the
+// single-process engine uses. Scheduling, retries, worker count and
+// shard arrival order leave no trace in the output. See ARCHITECTURE.md
+// for the fingerprint contract and the merge-determinism guarantee.
+package distrib

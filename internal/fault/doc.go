@@ -1,0 +1,16 @@
+// Package fault defines the fault models of FMOSSIM and utilities to
+// enumerate, sample, and describe fault universes.
+//
+// FMOSSIM directly implements node and transistor faults: a node fault
+// causes the node to behave as an input node set to the specified state; a
+// transistor fault causes the transistor to be permanently stuck-open or
+// stuck-closed, without changing its strength. Other fault types are
+// injected with extra fault transistors placed in the network at build
+// time (netlist.Builder.BridgeCandidate and Breakable): a short circuit is
+// a very strong transistor between two nodes that is closed in the faulty
+// circuit and open in the good circuit; an open circuit is a node split
+// into two parts joined by a very strong transistor that is closed in the
+// good circuit and open in the faulty circuit. Injecting these faults
+// therefore requires no modeling capability beyond the switch-level model
+// itself.
+package fault

@@ -1,0 +1,9 @@
+// Package gates is a cell library of common nMOS and CMOS structures
+// expressed as switch-level subnetworks: ratioed inverters and gates with
+// depletion loads, complementary CMOS gates, pass-transistor logic,
+// dynamic latches, and precharge devices. It is the substrate from which
+// the RAM circuits and the examples are generated.
+//
+// All constructors take a netlist.Builder and wire existing nodes; they
+// create internal nodes with names derived from the given prefix.
+package gates

@@ -1,0 +1,30 @@
+package gates_test
+
+import (
+	"fmt"
+
+	"fmossim/internal/gates"
+	"fmossim/internal/logic"
+	"fmossim/internal/netlist"
+	"fmossim/internal/switchsim"
+)
+
+// ExampleNNand builds a two-input nMOS NAND from the cell library and
+// checks one row of its truth table.
+func ExampleNNand() {
+	b := netlist.NewBuilder(logic.Scale{Sizes: 2, Strengths: 2})
+	a := b.Input("a", logic.Lo)
+	c := b.Input("c", logic.Lo)
+	out := b.Node("out")
+	gates.NNand(b, out, "nand", a, c)
+	nw := b.Finalize()
+
+	sim := switchsim.NewSimulator(nw)
+	sim.MustSet(map[string]logic.Value{"a": logic.Hi, "c": logic.Lo})
+	fmt.Println("a=1 c=0 out =", sim.Value("out"))
+	sim.MustSet(map[string]logic.Value{"a": logic.Hi, "c": logic.Hi})
+	fmt.Println("a=1 c=1 out =", sim.Value("out"))
+	// Output:
+	// a=1 c=0 out = 1
+	// a=1 c=1 out = 0
+}

@@ -1,0 +1,17 @@
+// Package logic defines the ternary value system and the signal-strength
+// lattice of Bryant's switch-level model (MOSSIM II), as used by FMOSSIM.
+//
+// Node and transistor states are ternary: 0, 1, or X, where X is an
+// indeterminate value arising from uninitialized nodes, short circuits, or
+// improper charge sharing. Signals carry a discrete strength drawn from a
+// single ordered scale:
+//
+//	κ1 < κ2 < … < κk  <  γ1 < γ2 < … < γm  <  ω
+//
+// where the κi are storage-node sizes (charge strengths), the γj are
+// transistor strengths (drive strengths), and ω is the strength of an input
+// node (a voltage source). A signal of strength s passing through a
+// conducting transistor of strength γ continues with strength min(s, γ):
+// drive signals attenuate to the weakest transistor on the path, while
+// charge signals (κ < γ always) pass unattenuated.
+package logic

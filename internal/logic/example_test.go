@@ -1,0 +1,24 @@
+package logic_test
+
+import (
+	"fmt"
+
+	"fmossim/internal/logic"
+)
+
+// Example shows the ternary algebra: the least upper bound used when
+// signals of equal strength collide, and how a transistor's switch state
+// follows its gate.
+func Example() {
+	fmt.Println("lub(0,1) =", logic.Lub(logic.Lo, logic.Hi))
+	fmt.Println("not(X)   =", logic.X.Not())
+	fmt.Println("n-switch with gate=1:", logic.SwitchState(logic.NType, logic.Hi))
+	fmt.Println("p-switch with gate=1:", logic.SwitchState(logic.PType, logic.Hi))
+	fmt.Println("d-switch with gate=X:", logic.SwitchState(logic.DType, logic.X))
+	// Output:
+	// lub(0,1) = X
+	// not(X)   = X
+	// n-switch with gate=1: 1
+	// p-switch with gate=1: 0
+	// d-switch with gate=X: 1
+}

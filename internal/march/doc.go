@@ -1,0 +1,14 @@
+// Package march generates the paper's test sequences for the RAM
+// circuits: special tests of the control and peripheral logic followed by
+// marching tests (Winegarden & Pannell style) of the row-select logic,
+// the column-select and bit-line logic, and the memory array.
+//
+// The pattern budget reproduces the paper exactly:
+//
+//	RAM64, sequence 1: 7 control + 40 row march + 40 column march +
+//	                   320 array march = 407 patterns   (paper: 407)
+//	RAM64, sequence 2: 7 control + 320 array march = 327 (paper: 327)
+//	RAM256, sequence 1: 7 + 80 + 80 + 1280 = 1447        (paper: 1447)
+//
+// where each pattern is one clock cycle of six input settings.
+package march

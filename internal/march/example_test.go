@@ -1,0 +1,22 @@
+package march_test
+
+import (
+	"fmt"
+
+	"fmossim/internal/march"
+	"fmossim/internal/ram"
+)
+
+// Example reproduces the paper's pattern budget: sequence 1 on the 8×8
+// RAM is 407 patterns (7 control + 40 row march + 40 column march + 320
+// array march), each one clock cycle of six input settings.
+func Example() {
+	m := ram.RAM64()
+	seq1 := march.Sequence1(m)
+	seq2 := march.Sequence2(m)
+	fmt.Printf("sequence 1: %d patterns, %d settings\n", len(seq1.Patterns), seq1.NumSettings())
+	fmt.Printf("sequence 2: %d patterns\n", len(seq2.Patterns))
+	// Output:
+	// sequence 1: 407 patterns, 2442 settings
+	// sequence 2: 327 patterns
+}

@@ -1,0 +1,16 @@
+// Package netlist represents switch-level networks: charge-storage nodes
+// connected by bidirectional transistor switches, per Bryant's model.
+//
+// A network consists of a set of nodes and a set of transistors; no
+// restrictions are placed on how they are interconnected. Each node is
+// either an input node (a strong signal source whose state is not affected
+// by the network: Vdd, Gnd, clocks, data inputs) or a storage node (state
+// determined by network operation, holds charge when isolated). Each
+// storage node has a discrete size; each transistor has a type (n/p/d), a
+// discrete strength, and gate/source/drain terminals. Source and drain are
+// symmetric: every transistor is bidirectional.
+//
+// Networks are constructed through the Add* methods and must be finalized
+// with Finalize before simulation; Finalize computes terminal adjacency
+// indexes and validates the design.
+package netlist

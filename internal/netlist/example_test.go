@@ -1,0 +1,24 @@
+package netlist_test
+
+import (
+	"fmt"
+
+	"fmossim/internal/logic"
+	"fmossim/internal/netlist"
+)
+
+// ExampleBuilder constructs a CMOS inverter — a p-type pull-up and an
+// n-type pull-down sharing the gate — and finalizes it for simulation.
+func ExampleBuilder() {
+	b := netlist.NewBuilder(logic.Scale{Sizes: 1, Strengths: 1})
+	in := b.Input("in", logic.Lo)
+	out := b.Node("out")
+	b.P(in, b.Vdd, out, "pullup")
+	b.N(in, out, b.Gnd, "pulldown")
+	nw := b.Finalize()
+	fmt.Println(nw.Stats())
+	fmt.Println("out is node", nw.MustLookup("out"))
+	// Output:
+	// 4 nodes (1 storage, 3 input), 2 transistors
+	// out is node 3
+}

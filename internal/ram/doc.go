@@ -1,0 +1,31 @@
+// Package ram generates the dynamic RAM circuits of the paper's
+// evaluation: nMOS memories built from three-transistor (3T) dynamic
+// cells, NOR row/column decoders with depletion loads, precharged bit
+// lines, pass-transistor row gating and column muxes, per-column refresh
+// inverters, and a dynamic output latch — "a variety of MOS structures
+// such as logic gates, bidirectional pass transistors, dynamic latches,
+// precharged busses, and three-transistor dynamic memory elements."
+//
+// RAM64 is the 8×8 instance (paper: 378 transistors, 229 nodes; this
+// generator produces a closely comparable circuit) and RAM256 the 16×16
+// instance (paper: 1148 transistors, 695 nodes). Like the paper's
+// circuits, these are hard cases for a switch-level simulator: the bit
+// lines are large global busses, so activity is poorly localized, and
+// observability is low because there is a single data output.
+//
+// Timing discipline (one pattern = one clock cycle = 6 input settings):
+//
+//	s0  φ1↑ with address, data and write-enable applied (setup+precharge)
+//	s1  φ1↓ (end precharge; bit lines hold their charge)
+//	s2  φ2↑ (access: the selected row reads onto the bit lines and the
+//	        output latch captures the selected column)
+//	s3  φ2↓
+//	s4  φ3↑ (write-back: if WE, the selected row is written — the
+//	        selected column from Din, all others refreshed from their
+//	        read value through the per-column refresh inverter)
+//	s5  φ3↓
+//
+// A read is a cycle with WE=0; its φ3 pulse is idle. Every cycle reads
+// the addressed row; a write cycle rewrites it, refreshing the unselected
+// columns, as real 3T one-bit-wide parts do.
+package ram

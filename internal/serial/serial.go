@@ -1,10 +1,5 @@
-// Package serial implements the baseline FMOSSIM is compared against: a
-// serial fault simulator in which each faulty circuit is simulated
-// separately, in its entirety, until it produces an output different from
-// the good circuit's. It also implements the paper's serial-time
-// estimator: "All serial fault simulation times were estimated by summing
-// over all faults the number of patterns required to detect the fault
-// times the average time to simulate the good circuit for 1 pattern."
+// The serial reference simulator and the paper's serial-time estimator.
+// Package documentation lives in doc.go.
 package serial
 
 import (

@@ -1,0 +1,39 @@
+package server_test
+
+import (
+	"fmt"
+	"time"
+
+	"fmossim/internal/server"
+)
+
+// Example submits an inline-netlist campaign straight to a Manager (the
+// in-process form of POST /jobs) and waits for its result.
+func Example() {
+	mgr := server.NewManager(server.Config{MaxJobs: 1})
+	defer mgr.Close()
+
+	job, err := mgr.Submit(server.JobSpec{
+		Netlist: `scale 1 1
+input in 0
+node mid
+node out
+d mid Vdd mid
+n in mid Gnd
+d out Vdd out
+n mid out Gnd
+`,
+		Patterns: "in=0\nin=1\npattern p1\nin=0\nin=1\n",
+		Observe:  []string{"out"},
+	})
+	if err != nil {
+		panic(err)
+	}
+	for !job.Snapshot().State.Terminal() {
+		time.Sleep(time.Millisecond)
+	}
+	res := job.Result()
+	fmt.Printf("job %s: %d/%d faults detected\n", job.Snapshot().State, res.Detected, res.NumFaults)
+	// Output:
+	// job done: 3/4 faults detected
+}

@@ -1,11 +1,14 @@
-// HTTP surface: the job lifecycle endpoints and the NDJSON progress
-// stream.
+// HTTP surface: the job lifecycle endpoints, the NDJSON progress stream,
+// and the recording store (see recording.go).
 //
-//	POST   /jobs             submit a campaign (JobSpec JSON) -> 202 + Snapshot
+//	POST   /jobs             submit a campaign or shard job (JobSpec JSON) -> 202 + Snapshot
 //	GET    /jobs             list all jobs -> []Snapshot
 //	GET    /jobs/{id}        one job's Snapshot (plus result when done)
 //	GET    /jobs/{id}/stream NDJSON progress until the job is terminal
 //	DELETE /jobs/{id}        cancel a live job / remove a terminal one
+//	PUT    /recordings/{fp}  upload an encoded good-circuit recording
+//	GET    /recordings[/{fp}] stored-recording metadata
+//	DELETE /recordings/{fp}  evict a recording
 //	GET    /healthz          liveness probe
 //
 // A saturated server answers POST /jobs with 429 and a Retry-After
@@ -50,6 +53,12 @@ func (m *Manager) Handler() http.Handler {
 	mux.HandleFunc("GET /jobs/{id}", m.handleGet)
 	mux.HandleFunc("GET /jobs/{id}/stream", m.handleStream)
 	mux.HandleFunc("DELETE /jobs/{id}", m.handleDelete)
+	mux.HandleFunc("PUT /recordings/{fp}", m.handlePutRecording)
+	mux.HandleFunc("GET /recordings/{fp}", m.handleGetRecording)
+	mux.HandleFunc("DELETE /recordings/{fp}", m.handleDeleteRecording)
+	mux.HandleFunc("GET /recordings", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, m.recordings.list())
+	})
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"fmossim/internal/campaign"
+	"fmossim/internal/core"
 )
 
 // State is a job's lifecycle state.
@@ -92,6 +93,10 @@ type Result struct {
 	FaultWork      int64      `json:"fault_work"`
 	WallNS         int64      `json:"wall_ns"`
 	PerFault       []PerFault `json:"per_fault,omitempty"`
+	// Batch is a shard job's raw per-batch result (present only when the
+	// spec set include_batch): what a distributed coordinator merges at
+	// setting granularity via campaign.Merge.
+	Batch *core.BatchResult `json:"batch,omitempty"`
 }
 
 // Job is one submitted campaign.

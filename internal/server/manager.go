@@ -1,24 +1,5 @@
-// Package server implements fmossimd, the concurrent campaign job
-// server: a long-running HTTP/JSON service that accepts fault-campaign
-// submissions, schedules them over a bounded pool of runner goroutines,
-// shares one warm engine — read-only switchsim.Tables and recorded
-// good-circuit trajectories — across jobs over the same circuit, and
-// streams per-setting progress (coverage, live-fault counts, detection
-// events) as NDJSON.
-//
-// The throughput argument is the paper's, lifted one level: just as the
-// concurrent simulator amortizes the good circuit across the fault
-// universe, the server amortizes trajectory recording and table
-// construction across campaigns, so a burst of jobs over the RAM
-// benchmarks pays the good-circuit cost once. Load shedding is explicit:
-// at most MaxJobs campaigns run at a time, at most QueueDepth wait, and
-// submissions beyond that are rejected with 429 and a Retry-After hint
-// so the daemon degrades predictably under burst traffic.
-//
-// Results are bit-identical to the one-shot CLI path (cmd/fmossim in
-// campaign mode): both funnel into campaign.Run, whose determinism
-// contract is independent of sharding, worker count, and — by
-// construction — of which jobs share cached state.
+// Job manager: the submission queue, the bounded runner pool, and
+// terminal-job retention. Package documentation lives in doc.go.
 package server
 
 import (
@@ -26,11 +7,14 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"strings"
 	"sync"
 	"time"
 
 	"fmossim/internal/campaign"
 	"fmossim/internal/core"
+	"fmossim/internal/fault"
+	"fmossim/internal/netlist"
 )
 
 // Config sizes the server.
@@ -52,6 +36,11 @@ type Config struct {
 	// terminal jobs are evicted, so a long-running daemon's memory does
 	// not grow with its job history. Default 64.
 	KeepTerminal int
+	// KeepRecordings bounds how many uploaded good-circuit recordings
+	// (PUT /recordings/{fp}) the server retains, evicted oldest-first.
+	// One recording per distinct circuit/sequence pair is typical, so a
+	// small bound suffices. Default 8.
+	KeepRecordings int
 }
 
 func (c Config) withDefaults() Config {
@@ -70,6 +59,9 @@ func (c Config) withDefaults() Config {
 	if c.KeepTerminal <= 0 {
 		c.KeepTerminal = 64
 	}
+	if c.KeepRecordings <= 0 {
+		c.KeepRecordings = 8
+	}
 	return c
 }
 
@@ -80,10 +72,12 @@ var ErrQueueFull = errors.New("server: job queue full")
 // ErrClosed is returned by Submit after Close.
 var ErrClosed = errors.New("server: shutting down")
 
-// Manager owns the job table, the submission queue, and the runner pool.
+// Manager owns the job table, the submission queue, the runner pool, and
+// the uploaded-recording store.
 type Manager struct {
-	cfg   Config
-	cache *cache
+	cfg        Config
+	cache      *cache
+	recordings *recordingStore
 
 	ctx    context.Context
 	cancel context.CancelFunc
@@ -104,11 +98,12 @@ func NewManager(cfg Config) *Manager {
 	cfg = cfg.withDefaults()
 	ctx, cancel := context.WithCancel(context.Background())
 	m := &Manager{
-		cfg:    cfg,
-		cache:  newCache(),
-		ctx:    ctx,
-		cancel: cancel,
-		jobs:   map[string]*Job{},
+		cfg:        cfg,
+		cache:      newCache(),
+		recordings: newRecordingStore(cfg.KeepRecordings),
+		ctx:        ctx,
+		cancel:     cancel,
+		jobs:       map[string]*Job{},
 	}
 	m.nonIdle.L = &m.mu
 	for i := 0; i < cfg.MaxJobs; i++ {
@@ -295,35 +290,48 @@ func (m *Manager) runJob(job *Job) {
 		job.finish(StateFailed, err.Error(), nil)
 		return
 	}
+	if fp := job.Spec.RecordingFP; fp != "" {
+		fp = strings.ToLower(fp) // the /recordings handlers store lowercase
+		rec, ok := m.recordings.get(fp)
+		if !ok {
+			job.finish(StateFailed, fmt.Sprintf(
+				"recording %s not found: upload it with PUT /recordings/%s first", fp, fp), nil)
+			return
+		}
+		if err := rec.Validate(wl.Net, wl.Seq.NumSettings()); err != nil {
+			job.finish(StateFailed, fmt.Sprintf("recording %s: %v", fp, err), nil)
+			return
+		}
+		wl.Recording = rec
+	}
 	if job.ctx.Err() != nil { // cancelled while resolving/cache-warming
 		job.finish(StateCancelled, "cancelled", nil)
 		return
 	}
+	if job.Spec.IsShard() {
+		m.runShard(job, wl, start)
+		return
+	}
 	job.publish(func() {
-		job.numFaults = len(wl.faults)
-		job.liveFaults = len(wl.faults)
+		job.numFaults = len(wl.Faults)
+		job.liveFaults = len(wl.Faults)
 	})
 
 	shards := job.Spec.Shards
 	if shards <= 0 {
-		// Fair share: concurrent jobs split the machine instead of each
-		// claiming all of it.
-		shards = runtime.GOMAXPROCS(0) / m.cfg.MaxJobs
-		if shards < 1 {
-			shards = 1
-		}
+		shards = m.fairShare()
 	}
-	res, err := campaign.Run(job.ctx, wl.nw, wl.faults, wl.seq, campaign.Options{
+	res, err := campaign.Run(job.ctx, wl.Net, wl.Faults, wl.Seq, campaign.Options{
 		Sim: core.Options{
-			Observe: wl.observe,
+			Observe: wl.Observe,
 			Drop:    job.Spec.dropPolicy(),
 			Workers: job.Spec.Workers,
 		},
 		BatchSize:      job.Spec.BatchSize,
 		Shards:         shards,
 		CoverageTarget: job.Spec.CoverageTarget,
-		Recording:      wl.rec,
-		Tables:         wl.tab,
+		Recording:      wl.Recording,
+		Tables:         wl.Tables,
 		Progress:       job.onProgress,
 	})
 	switch {
@@ -336,8 +344,130 @@ func (m *Manager) runJob(job *Job) {
 	}
 }
 
+// fairShare is the default parallelism of one job: concurrent jobs split
+// the machine instead of each claiming all of it.
+func (m *Manager) fairShare() int {
+	n := runtime.GOMAXPROCS(0) / m.cfg.MaxJobs
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// runShard executes a shard job: exactly one batch over the spec's fault
+// window, replayed against the referenced (or cached, or freshly
+// captured) good trajectory. Per-setting progress streams through the
+// same snapshot/detection machinery as campaign jobs; detection indices
+// in the stream are shard-relative (the coordinator offsets them by
+// shard_lo into universe indices).
+func (m *Manager) runShard(job *Job, wl *Workload, start time.Time) {
+	lo, hi := job.Spec.ShardLo, job.Spec.ShardHi
+	if hi > len(wl.Faults) {
+		job.finish(StateFailed, fmt.Sprintf("shard window [%d,%d) out of range: universe has %d faults",
+			lo, hi, len(wl.Faults)), nil)
+		return
+	}
+	rec := wl.Recording
+	if rec == nil {
+		rec = core.Record(wl.Net, wl.Seq, core.Options{})
+	}
+	width := hi - lo
+	job.publish(func() {
+		job.numFaults = width
+		job.liveFaults = width
+		job.batches = 1
+	})
+	opts := core.Options{
+		Observe: wl.Observe,
+		Drop:    job.Spec.dropPolicy(),
+		Workers: job.Spec.Workers,
+	}
+	if opts.Workers <= 0 {
+		opts.Workers = m.fairShare()
+	}
+	opts.OnObserve = func(bp core.BatchProgress) {
+		ev := campaign.ProgressEvent{
+			Pattern: bp.Pattern, Setting: bp.Setting,
+			ActiveCircuits: bp.ActiveCircuits, LiveFaults: bp.LiveFaults,
+			Detected: bp.DetectedTotal, NumFaults: width, Batches: 1,
+		}
+		if len(bp.Detected) > 0 {
+			ev.NewlyDetected = append([]int(nil), bp.Detected...)
+		}
+		job.onProgress(ev)
+	}
+	br, err := core.RunBatch(job.ctx, wl.Tables, wl.Faults[lo:hi], rec, wl.Seq, opts)
+	switch {
+	case err != nil && (errors.Is(err, context.Canceled) || job.ctx.Err() != nil):
+		job.finish(StateCancelled, "cancelled", nil)
+	case err != nil:
+		job.finish(StateFailed, err.Error(), nil)
+	default:
+		job.finish(StateDone, "", buildShardResult(wl, br, lo, &job.Spec, time.Since(start)))
+	}
+}
+
+// buildShardResult summarizes a finished shard job. Coverage is relative
+// to the shard width; the good-circuit side (work, time) is owned by the
+// coordinator's recording and reported as zero here.
+func buildShardResult(wl *Workload, br *core.BatchResult, lo int, spec *JobSpec, wall time.Duration) *Result {
+	r := &Result{
+		Detected:   br.DetectedCount(),
+		NumFaults:  br.NumFaults,
+		Batches:    1,
+		BatchesRun: 1,
+		WallNS:     wall.Nanoseconds(),
+	}
+	if br.NumFaults > 0 {
+		r.Coverage = float64(r.Detected) / float64(br.NumFaults)
+	}
+	for i := range br.Detected {
+		if br.Detected[i] && br.Detections[i].Hard {
+			r.HardDetected++
+		}
+		if br.Oscillated[i] {
+			r.Oscillated++
+		}
+	}
+	for _, ps := range br.PerSetting {
+		r.FaultWork += ps.FaultWork
+	}
+	if spec.IncludeBatch {
+		r.Batch = br
+	}
+	if !spec.IncludePerFault {
+		return r
+	}
+	r.PerFault = make([]PerFault, br.NumFaults)
+	for fi := 0; fi < br.NumFaults; fi++ {
+		r.PerFault[fi] = perFaultRow(wl.Net, wl.Faults[lo+fi],
+			br.Detected[fi], br.Oscillated[fi], false, br.Detections[fi])
+	}
+	return r
+}
+
+// perFaultRow renders one fault's outcome as the wire-format row shared
+// by campaign and shard results.
+func perFaultRow(nw *netlist.Network, f fault.Fault, detected, oscillated, skipped bool, d core.Detection) PerFault {
+	pf := PerFault{
+		Fault:      f.Describe(nw),
+		Detected:   detected,
+		Oscillated: oscillated,
+		Skipped:    skipped,
+	}
+	if detected {
+		pf.Pattern = d.Pattern
+		pf.Setting = d.Setting
+		pf.Output = nw.Name(d.Output)
+		pf.Good = d.Good.String()
+		pf.Faulty = d.Faulty.String()
+		pf.Hard = d.Hard
+	}
+	return pf
+}
+
 // buildResult summarizes a finished campaign.
-func buildResult(wl *resolved, res *campaign.Result, includePerFault bool, wall time.Duration) *Result {
+func buildResult(wl *Workload, res *campaign.Result, includePerFault bool, wall time.Duration) *Result {
 	r := &Result{
 		Coverage:       res.Coverage(),
 		Detected:       res.Run.Detected,
@@ -358,21 +488,8 @@ func buildResult(wl *resolved, res *campaign.Result, includePerFault bool, wall 
 	r.PerFault = make([]PerFault, len(res.PerFault))
 	for fi := range res.PerFault {
 		o := &res.PerFault[fi]
-		pf := PerFault{
-			Fault:      wl.faults[fi].Describe(wl.nw),
-			Detected:   o.Detected,
-			Oscillated: o.Oscillated,
-			Skipped:    o.Skipped,
-		}
-		if o.Detected {
-			pf.Pattern = o.Detection.Pattern
-			pf.Setting = o.Detection.Setting
-			pf.Output = wl.nw.Name(o.Detection.Output)
-			pf.Good = o.Detection.Good.String()
-			pf.Faulty = o.Detection.Faulty.String()
-			pf.Hard = o.Detection.Hard
-		}
-		r.PerFault[fi] = pf
+		r.PerFault[fi] = perFaultRow(wl.Net, wl.Faults[fi],
+			o.Detected, o.Oscillated, o.Skipped, o.Detection)
 	}
 	return r
 }

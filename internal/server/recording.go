@@ -1,0 +1,174 @@
+// Uploaded-recording store: the server half of the distributed-campaign
+// amortization. A coordinator records the good-circuit trajectory once,
+// uploads the encoded bytes to each worker under their content
+// fingerprint (SHA-256 of the encoding), and submits shard jobs that
+// reference the fingerprint — so workers × shards campaigns pay for
+// exactly one good-circuit simulation, cluster-wide.
+//
+//	PUT    /recordings/{fp}  upload an encoded recording -> 201 + meta
+//	GET    /recordings/{fp}  presence check -> 200 + meta / 404
+//	GET    /recordings       list stored recordings -> []meta
+//	DELETE /recordings/{fp}  evict
+//
+// The fingerprint in the URL is the contract: the server re-hashes the
+// body and rejects a mismatch with 400, so a corrupt or truncated upload
+// can never be replayed under a healthy recording's name.
+package server
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+
+	"fmossim/internal/switchsim"
+)
+
+// maxRecordingBytes bounds one uploaded recording (the RAM256 sequence-1
+// trajectory encodes to a few MB; the bound is generous headroom, not a
+// target).
+const maxRecordingBytes = 512 << 20
+
+// RecordingMeta describes one stored recording.
+type RecordingMeta struct {
+	Fingerprint    string `json:"fingerprint"`
+	NumNodes       int    `json:"num_nodes"`
+	NumTransistors int    `json:"num_transistors"`
+	NumSettings    int    `json:"num_settings"`
+	Bytes          int    `json:"bytes"`
+}
+
+// recordingStore holds decoded recordings keyed by content fingerprint,
+// bounded by Config.KeepRecordings with oldest-first eviction.
+type recordingStore struct {
+	mu      sync.Mutex
+	max     int
+	order   []string
+	entries map[string]storedRecording
+}
+
+type storedRecording struct {
+	rec  *switchsim.Recording
+	size int
+}
+
+func newRecordingStore(max int) *recordingStore {
+	return &recordingStore{max: max, entries: map[string]storedRecording{}}
+}
+
+// put stores a decoded recording under its fingerprint, evicting the
+// oldest entries beyond the bound. Re-uploading an existing fingerprint
+// refreshes its eviction age.
+func (s *recordingStore) put(fp string, rec *switchsim.Recording, size int) RecordingMeta {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.entries[fp]; ok {
+		for i, o := range s.order {
+			if o == fp {
+				s.order = append(s.order[:i], s.order[i+1:]...)
+				break
+			}
+		}
+	}
+	s.entries[fp] = storedRecording{rec: rec, size: size}
+	s.order = append(s.order, fp)
+	for len(s.order) > s.max {
+		delete(s.entries, s.order[0])
+		s.order = s.order[1:]
+	}
+	return meta(fp, s.entries[fp])
+}
+
+func (s *recordingStore) get(fp string) (*switchsim.Recording, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.entries[fp]
+	return e.rec, ok
+}
+
+func (s *recordingStore) getMeta(fp string) (RecordingMeta, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.entries[fp]
+	if !ok {
+		return RecordingMeta{}, false
+	}
+	return meta(fp, e), true
+}
+
+func (s *recordingStore) delete(fp string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.entries[fp]; !ok {
+		return false
+	}
+	delete(s.entries, fp)
+	for i, o := range s.order {
+		if o == fp {
+			s.order = append(s.order[:i], s.order[i+1:]...)
+			break
+		}
+	}
+	return true
+}
+
+func (s *recordingStore) list() []RecordingMeta {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]RecordingMeta, 0, len(s.order))
+	for _, fp := range s.order {
+		out = append(out, meta(fp, s.entries[fp]))
+	}
+	return out
+}
+
+func meta(fp string, e storedRecording) RecordingMeta {
+	return RecordingMeta{
+		Fingerprint:    fp,
+		NumNodes:       e.rec.NumNodes,
+		NumTransistors: e.rec.NumTransistors,
+		NumSettings:    e.rec.NumSettings(),
+		Bytes:          e.size,
+	}
+}
+
+func (m *Manager) handlePutRecording(w http.ResponseWriter, r *http.Request) {
+	fp := strings.ToLower(r.PathValue("fp"))
+	data, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxRecordingBytes))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("reading recording body: %v", err))
+		return
+	}
+	if got := switchsim.FingerprintBytes(data); got != fp {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf(
+			"fingerprint mismatch: body hashes to %s, not %s", got, fp))
+		return
+	}
+	rec, err := switchsim.DecodeRecording(bytes.NewReader(data))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusCreated, m.recordings.put(fp, rec, len(data)))
+}
+
+func (m *Manager) handleGetRecording(w http.ResponseWriter, r *http.Request) {
+	fp := strings.ToLower(r.PathValue("fp"))
+	rm, ok := m.recordings.getMeta(fp)
+	if !ok {
+		writeError(w, http.StatusNotFound, "no such recording")
+		return
+	}
+	writeJSON(w, http.StatusOK, rm)
+}
+
+func (m *Manager) handleDeleteRecording(w http.ResponseWriter, r *http.Request) {
+	fp := strings.ToLower(r.PathValue("fp"))
+	if !m.recordings.delete(fp) {
+		writeError(w, http.StatusNotFound, "no such recording")
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"fingerprint": fp, "status": "removed"})
+}

@@ -70,7 +70,32 @@ type JobSpec struct {
 
 	// IncludePerFault adds the per-fault outcome table to the job result.
 	IncludePerFault bool `json:"include_per_fault,omitempty"`
+
+	// Shard-job fields: the distributed-campaign worker path (see
+	// internal/distrib and ARCHITECTURE.md). When ShardHi > 0 the job is
+	// a shard job: instead of a full campaign it runs exactly one batch —
+	// core.RunBatch over the half-open window [shard_lo, shard_hi) of the
+	// resolved fault universe — so a coordinator that resolves the same
+	// spec locally (server.ResolveSpec) can partition the universe and
+	// know each worker sees identical fault indices.
+	ShardLo int `json:"shard_lo,omitempty"`
+	ShardHi int `json:"shard_hi,omitempty"`
+	// RecordingFP references a good-circuit trajectory previously
+	// uploaded with PUT /recordings/{fp} by its content fingerprint (the
+	// SHA-256 of its encoded bytes, switchsim.FingerprintBytes). The job
+	// replays the uploaded recording instead of re-recording the good
+	// circuit; the job fails if the fingerprint is unknown or the
+	// recording does not match the resolved network and sequence.
+	RecordingFP string `json:"recording_fp,omitempty"`
+	// IncludeBatch embeds the raw core.BatchResult in a shard job's
+	// result so the coordinator can merge shards at setting granularity
+	// (campaign.Merge), bit-identical to a single-process campaign.
+	IncludeBatch bool `json:"include_batch,omitempty"`
 }
+
+// IsShard reports whether the spec is a shard job (a single-batch window
+// of the fault universe, dispatched by a distributed coordinator).
+func (s *JobSpec) IsShard() bool { return s.ShardHi > 0 }
 
 // validate performs the submit-time checks that should 400 instead of
 // failing the job later.
@@ -121,10 +146,21 @@ func (s *JobSpec) validate() error {
 		name string
 		v    int
 	}{{"max_patterns", s.MaxPatterns}, {"sample_every", s.SampleEvery},
-		{"batch_size", s.BatchSize}, {"shards", s.Shards}, {"workers", s.Workers}} {
+		{"batch_size", s.BatchSize}, {"shards", s.Shards}, {"workers", s.Workers},
+		{"shard_lo", s.ShardLo}, {"shard_hi", s.ShardHi}} {
 		if f.v < 0 {
 			return fmt.Errorf("%s must be non-negative", f.name)
 		}
+	}
+	switch {
+	case s.ShardHi > 0 && s.ShardLo >= s.ShardHi:
+		return fmt.Errorf("shard window [%d,%d) is empty", s.ShardLo, s.ShardHi)
+	case s.ShardHi == 0 && s.ShardLo != 0:
+		return fmt.Errorf("shard_lo without shard_hi")
+	case s.IncludeBatch && !s.IsShard():
+		return fmt.Errorf("include_batch requires a shard job (shard_hi > 0)")
+	case s.IsShard() && s.CoverageTarget != 0:
+		return fmt.Errorf("coverage_target does not apply to shard jobs (the coordinator owns early stop)")
 	}
 	return nil
 }
@@ -155,14 +191,23 @@ func (s *JobSpec) workloadKey() (string, bool) {
 	return fmt.Sprintf("%s/%s/max=%d", s.Workload, seq, s.MaxPatterns), true
 }
 
-// resolved is a runnable workload: everything campaign.Run needs.
-type resolved struct {
-	nw      *netlist.Network
-	tab     *switchsim.Tables
-	faults  []fault.Fault
-	seq     *switchsim.Sequence
-	observe []netlist.NodeID
-	rec     *switchsim.Recording
+// Workload is a resolved, runnable campaign workload: everything
+// campaign.Run (or a shard job's core.RunBatch) needs. ResolveSpec
+// produces one outside the server so a distributed coordinator
+// (internal/distrib) enumerates the exact fault universe its workers
+// will resolve from the same spec: shard windows computed locally index
+// the same faults remotely.
+type Workload struct {
+	Net     *netlist.Network
+	Tables  *switchsim.Tables
+	Faults  []fault.Fault
+	Seq     *switchsim.Sequence
+	Observe []netlist.NodeID
+	// Recording is the cached good-circuit trajectory, nil when the
+	// workload has not been recorded yet.
+	Recording *switchsim.Recording
+
+	ram *ram.RAM // non-nil for built-in workloads
 }
 
 // circuitEntry is one cached built-in circuit + sequence: the network and
@@ -199,6 +244,18 @@ func (c *cache) builtin(spec *JobSpec) *circuitEntry {
 	if e := c.entries[key]; e != nil {
 		return e
 	}
+	m, seq := buildBuiltin(spec)
+	e := &circuitEntry{nw: m.Net, m: m, tab: switchsim.NewTables(m.Net), seq: seq}
+	c.entries[key] = e
+	return e
+}
+
+// buildBuiltin constructs a built-in workload's circuit and (truncated)
+// test sequence. Construction is deterministic: every process resolving
+// the same spec builds the identical network and sequence, which is what
+// lets coordinator and workers agree on fault indices and recording
+// fingerprints without shipping circuits around.
+func buildBuiltin(spec *JobSpec) (*ram.RAM, *switchsim.Sequence) {
 	var m *ram.RAM
 	if spec.Workload == "ram256" {
 		m = ram.RAM256()
@@ -212,9 +269,7 @@ func (c *cache) builtin(spec *JobSpec) *circuitEntry {
 		seq = march.Sequence1(m)
 	}
 	truncate(seq, spec.MaxPatterns)
-	e := &circuitEntry{nw: m.Net, m: m, tab: switchsim.NewTables(m.Net), seq: seq}
-	c.entries[key] = e
-	return e
+	return m, seq
 }
 
 // recording captures (once) and returns the entry's good trajectory.
@@ -235,24 +290,34 @@ func truncate(seq *switchsim.Sequence, n int) {
 
 // resolve turns a validated spec into a runnable workload, sharing cached
 // tables and trajectories for built-in workloads.
-func (m *Manager) resolve(spec *JobSpec) (*resolved, error) {
+func (m *Manager) resolve(spec *JobSpec) (*Workload, error) {
 	if spec.Workload != "" {
 		e := m.cache.builtin(spec)
-		r := &resolved{nw: e.nw, tab: e.tab, seq: e.seq, rec: e.recording()}
-		r.observe = []netlist.NodeID{e.m.DataOut}
-		if len(spec.Observe) > 0 {
-			var err error
-			if r.observe, err = lookupNodes(e.nw, spec.Observe); err != nil {
-				return nil, err
-			}
-		}
-		var err error
-		if r.faults, err = resolveFaults(spec, e.nw, e.m); err != nil {
-			return nil, err
-		}
-		return r, nil
+		wl := &Workload{Net: e.nw, Tables: e.tab, Seq: e.seq, Recording: e.recording(), ram: e.m}
+		return finishResolve(spec, wl)
 	}
+	return resolveInline(spec)
+}
 
+// ResolveSpec resolves a validated spec into a runnable workload with no
+// server cache behind it: fresh tables, no recording. Distributed
+// coordinators use it to enumerate the exact fault universe their
+// workers will resolve from the same spec.
+func ResolveSpec(spec *JobSpec) (*Workload, error) {
+	if err := spec.validate(); err != nil {
+		return nil, err
+	}
+	if spec.Workload != "" {
+		m, seq := buildBuiltin(spec)
+		wl := &Workload{Net: m.Net, Tables: switchsim.NewTables(m.Net), Seq: seq, ram: m}
+		return finishResolve(spec, wl)
+	}
+	return resolveInline(spec)
+}
+
+// resolveInline resolves an inline-netlist spec (never cached: the parse
+// is the cheap part, and the trajectory depends on the full text anyway).
+func resolveInline(spec *JobSpec) (*Workload, error) {
 	nw, err := netlist.Read(strings.NewReader(spec.Netlist))
 	if err != nil {
 		return nil, fmt.Errorf("netlist: %w", err)
@@ -262,14 +327,24 @@ func (m *Manager) resolve(spec *JobSpec) (*resolved, error) {
 		return nil, err
 	}
 	truncate(seq, spec.MaxPatterns)
-	r := &resolved{nw: nw, tab: switchsim.NewTables(nw), seq: seq}
-	if r.observe, err = lookupNodes(nw, spec.Observe); err != nil {
+	return finishResolve(spec, &Workload{Net: nw, Tables: switchsim.NewTables(nw), Seq: seq})
+}
+
+// finishResolve fills the observe set and fault universe of a workload
+// whose circuit and sequence are already resolved.
+func finishResolve(spec *JobSpec, wl *Workload) (*Workload, error) {
+	var err error
+	if len(spec.Observe) > 0 {
+		if wl.Observe, err = lookupNodes(wl.Net, spec.Observe); err != nil {
+			return nil, err
+		}
+	} else if wl.ram != nil {
+		wl.Observe = []netlist.NodeID{wl.ram.DataOut}
+	}
+	if wl.Faults, err = resolveFaults(spec, wl.Net, wl.ram); err != nil {
 		return nil, err
 	}
-	if r.faults, err = resolveFaults(spec, nw, nil); err != nil {
-		return nil, err
-	}
-	return r, nil
+	return wl, nil
 }
 
 // resolveFaults builds the job's fault universe: inline list, or the

@@ -1,0 +1,178 @@
+package server_test
+
+import (
+	"bufio"
+	"encoding/json"
+	"net/http"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"fmossim/internal/server"
+)
+
+// TestStreamDisconnectNoLeak: clients that open the NDJSON stream and
+// vanish mid-stream must not leak handler goroutines — each handler
+// observes the closed request context at its next wakeup and returns,
+// while the job itself keeps running.
+func TestStreamDisconnectNoLeak(t *testing.T) {
+	_, ts := newTestServer(t, server.Config{MaxJobs: 1, StreamInterval: time.Millisecond})
+
+	// A full RAM256 paper campaign with fault dropping disabled (every
+	// circuit stays live for the whole sequence): still running long
+	// after every disconnected stream handler should be gone, even on a
+	// machine with many cores.
+	snap, resp := submit(t, ts, map[string]any{
+		"workload": "ram256", "sequence": "sequence1", "drop": "never"})
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: %s", resp.Status)
+	}
+	waitState(t, ts, snap.ID, server.StateRunning, 60*time.Second)
+	before := runtime.NumGoroutine()
+
+	const streams = 8
+	var wg sync.WaitGroup
+	for i := 0; i < streams; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp, err := http.Get(ts.URL + "/jobs/" + snap.ID + "/stream")
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			// Read one line mid-NDJSON, then hang up.
+			sc := bufio.NewScanner(resp.Body)
+			sc.Scan()
+			resp.Body.Close()
+		}()
+	}
+	wg.Wait()
+
+	// Every disconnected handler (and its keep-alive connection) must
+	// unwind while the job is still live.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		http.DefaultClient.CloseIdleConnections()
+		runtime.GC()
+		if now := runtime.NumGoroutine(); now <= before+2 {
+			break
+		} else if time.Now().After(deadline) {
+			t.Fatalf("goroutines: %d before streams, %d after disconnects", before, now)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if st, _ := getStatus(t, ts, snap.ID); st.State != server.StateRunning {
+		t.Fatalf("job should still be running, is %q", st.State)
+	}
+
+	// Cleanup: cancel and wait so the campaign is gone before Cleanup
+	// closes the manager.
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/jobs/"+snap.ID, nil)
+	if dresp, err := http.DefaultClient.Do(req); err == nil {
+		dresp.Body.Close()
+	}
+	waitState(t, ts, snap.ID, server.StateCancelled, 10*time.Second)
+}
+
+// TestDeleteRacesNaturalCompletion: DELETE arriving while a job finishes
+// on its own must land in exactly one terminal state — done with a
+// result, or cancelled — never a torn mix, and repeated DELETEs stay
+// well-defined (cancel → remove → 404).
+func TestDeleteRacesNaturalCompletion(t *testing.T) {
+	_, ts := newTestServer(t, server.Config{MaxJobs: 2})
+	spec := map[string]any{"netlist": invNet, "patterns": invPatterns, "observe": []string{"out"}}
+
+	for i := 0; i < 20; i++ {
+		snap, resp := submit(t, ts, spec)
+		if resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("submit %d: %s", i, resp.Status)
+		}
+		// Two DELETEs race each other and the (fast) natural completion.
+		var wg sync.WaitGroup
+		for d := 0; d < 2; d++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/jobs/"+snap.ID, nil)
+				if dresp, err := http.DefaultClient.Do(req); err == nil {
+					dresp.Body.Close()
+				}
+			}()
+		}
+		wg.Wait()
+
+		// Whatever won, the job is (or promptly becomes) terminal — or
+		// was already removed by a DELETE that saw it terminal.
+		deadline := time.Now().Add(10 * time.Second)
+		for {
+			resp, err := http.Get(ts.URL + "/jobs/" + snap.ID)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if resp.StatusCode == http.StatusNotFound {
+				resp.Body.Close()
+				break // removed after finishing: a valid outcome
+			}
+			var st struct {
+				server.Snapshot
+				Result *server.Result `json:"result"`
+			}
+			err = json.NewDecoder(resp.Body).Decode(&st)
+			resp.Body.Close()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if st.State == server.StateDone && st.Result == nil {
+				t.Fatalf("job %s done without result", snap.ID)
+			}
+			if st.State == server.StateCancelled && st.Result != nil {
+				t.Fatalf("job %s cancelled with result", snap.ID)
+			}
+			if st.State.Terminal() {
+				break
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("job %s stuck in %q", snap.ID, st.State)
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+	}
+}
+
+// TestDoubleCancel: cancelling a job twice (HTTP DELETE and direct
+// Manager.Cancel, in any order) is idempotent and the stream still
+// terminates with a terminal snapshot.
+func TestDoubleCancel(t *testing.T) {
+	mgr, ts := newTestServer(t, server.Config{MaxJobs: 1})
+	snap, resp := submit(t, ts, map[string]any{"workload": "ram256", "sequence": "sequence1"})
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: %s", resp.Status)
+	}
+	waitState(t, ts, snap.ID, server.StateRunning, 60*time.Second)
+
+	streamDone := make(chan []streamLine, 1)
+	go func() { streamDone <- readStream(t, ts, snap.ID) }()
+
+	if !mgr.Cancel(snap.ID) {
+		t.Fatal("first cancel: job not found")
+	}
+	if !mgr.Cancel(snap.ID) {
+		t.Fatal("second cancel: job not found")
+	}
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/jobs/"+snap.ID, nil)
+	if dresp, err := http.DefaultClient.Do(req); err == nil {
+		dresp.Body.Close()
+	}
+
+	select {
+	case lines := <-streamDone:
+		last := lines[len(lines)-1]
+		if last.State != server.StateCancelled {
+			t.Fatalf("stream ended with state %q, want cancelled", last.State)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("stream did not terminate after double cancel")
+	}
+}

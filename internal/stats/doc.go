@@ -1,0 +1,4 @@
+// Package stats provides the small numeric helpers the benchmark harness
+// uses to summarize and validate experiment series: means, ratios, and
+// least-squares linear fits (Figure 3's linearity check).
+package stats

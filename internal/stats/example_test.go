@@ -1,0 +1,20 @@
+package stats_test
+
+import (
+	"fmt"
+
+	"fmossim/internal/stats"
+)
+
+// ExampleLinearFit recovers slope and intercept from an exact line — the
+// check behind the paper's Figure 3 linearity claim.
+func ExampleLinearFit() {
+	x := []float64{1, 2, 3, 4}
+	y := []float64{3, 5, 7, 9} // y = 2x + 1
+	fit := stats.LinearFit(x, y)
+	fmt.Printf("slope %.1f intercept %.1f\n", fit.Slope, fit.Intercept)
+	fmt.Printf("max relative error %.3f\n", stats.MaxAbsRelErr(x, y, fit))
+	// Output:
+	// slope 2.0 intercept 1.0
+	// max relative error 0.000
+}

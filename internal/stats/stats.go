@@ -1,6 +1,5 @@
-// Package stats provides the small numeric helpers the benchmark harness
-// uses to summarize and validate experiment series: means, ratios, and
-// least-squares linear fits (Figure 3's linearity check).
+// Sums, means, ratios, and least-squares fits. Package documentation
+// lives in doc.go.
 package stats
 
 import "math"

@@ -12,7 +12,9 @@ package switchsim
 
 import (
 	"bufio"
+	"crypto/sha256"
 	"encoding/binary"
+	"encoding/hex"
 	"fmt"
 	"io"
 	"slices"
@@ -151,6 +153,28 @@ func (tr *Trajectory) Clone() *Trajectory {
 
 // recordingMagic versions the on-disk format.
 const recordingMagic = "FMOSREC1"
+
+// Fingerprint returns the recording's content fingerprint: the lowercase
+// hex SHA-256 of its Encode serialization. Two recordings share a
+// fingerprint iff their encoded bytes are identical, so the fingerprint
+// names a trajectory across process and machine boundaries — a
+// distributed campaign coordinator uploads the encoded recording to each
+// worker once and every shard job references it by fingerprint (see
+// FingerprintBytes for hashing bytes already in hand).
+func (r *Recording) Fingerprint() (string, error) {
+	h := sha256.New()
+	if err := r.Encode(h); err != nil {
+		return "", err
+	}
+	return hex.EncodeToString(h.Sum(nil)), nil
+}
+
+// FingerprintBytes returns the fingerprint of an already-encoded
+// recording: the lowercase hex SHA-256 of data.
+func FingerprintBytes(data []byte) string {
+	sum := sha256.Sum256(data)
+	return hex.EncodeToString(sum[:])
+}
 
 const (
 	flagInit byte = 1 << iota

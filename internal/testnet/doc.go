@@ -1,0 +1,8 @@
+// Package testnet generates random switch-level circuits and stimulus for
+// property-based testing. Two generators are provided: Structured, which
+// composes well-behaved cells (gates, latches, pass muxes) into a layered
+// circuit, and Soup, which wires completely random transistor networks.
+// Structured circuits are used for equivalence properties (serial vs
+// concurrent fault simulation must agree); Soup circuits stress the solver
+// for robustness properties (termination, idempotence, monotonicity).
+package testnet

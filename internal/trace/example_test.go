@@ -1,0 +1,40 @@
+package trace_test
+
+import (
+	"fmt"
+	"strings"
+
+	"fmossim/internal/gates"
+	"fmossim/internal/logic"
+	"fmossim/internal/netlist"
+	"fmossim/internal/switchsim"
+	"fmossim/internal/trace"
+)
+
+// ExampleRecorder attaches a VCD recorder to a logic simulation of an
+// inverter and prints the value-change section of the dump.
+func ExampleRecorder() {
+	b := netlist.NewBuilder(logic.Scale{Sizes: 2, Strengths: 2})
+	in := b.Input("in", logic.Lo)
+	out := b.Node("out")
+	gates.NInv(b, in, out, "inv")
+	nw := b.Finalize()
+
+	var vcd strings.Builder
+	rec := trace.New(&vcd, nw, []netlist.NodeID{in, out})
+	sim := rec.Attach(switchsim.NewSimulator(nw))
+	sim.MustSet(map[string]logic.Value{"in": logic.Lo})
+	sim.MustSet(map[string]logic.Value{"in": logic.Hi})
+	rec.Flush()
+
+	_, changes, _ := strings.Cut(vcd.String(), "$enddefinitions $end\n")
+	fmt.Print(changes)
+	// Output:
+	// #0
+	// 0!
+	// 1"
+	// #1
+	// 1!
+	// 0"
+	// #2
+}

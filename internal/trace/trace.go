@@ -1,10 +1,4 @@
-// Package trace records simulation waveforms and writes them in the IEEE
-// 1364 Value Change Dump (VCD) format, so runs of the logic or fault
-// simulator can be inspected in any waveform viewer (GTKWave etc.).
-//
-// The ternary switch-level states map onto VCD's four-state scalars: 0, 1
-// and x (the unknown state); z is not produced (an isolated node holds
-// its charge in the switch-level model rather than floating).
+// The VCD recorder. Package documentation lives in doc.go.
 package trace
 
 import (
