@@ -185,6 +185,44 @@ func BenchmarkCampaign_RAM256(b *testing.B) {
 	}
 }
 
+// BenchmarkBatchStep_Lanes pins the word-packed lane engine's stepping
+// cost as a function of lane packing density: RAM64 under sequence 1 with
+// the stuck-at universe, replayed through core.RunBatch at 1, 8, and 64
+// faults per lane word. Results are bit-identical at every width (the
+// merge-determinism contract, asserted by TestBatchLaneWidthInvariance);
+// ns/op shows what the packing itself buys — wider words share one
+// ReplayIndex probe row and one interest-mask row across more fault
+// circuits — and allocs/op tracks the per-width cost of the packed index.
+func BenchmarkBatchStep_Lanes(b *testing.B) {
+	m := ram.RAM64()
+	faults := bench.NodeStuckOnly(m)
+	seq := march.Sequence1(m)
+	rec := core.Record(m.Net, seq, core.Options{})
+	tab := switchsim.NewTables(m.Net)
+	for _, lw := range []int{1, 8, 64} {
+		b.Run(fmt.Sprintf("lanes=%d", lw), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				br, err := core.RunBatch(context.Background(), tab, faults, rec, seq, core.Options{
+					Observe:   []netlist.NodeID{m.DataOut},
+					Workers:   1,
+					LaneWidth: lw,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				detected := 0
+				for _, d := range br.Detected {
+					if d {
+						detected++
+					}
+				}
+				b.ReportMetric(100*float64(detected)/float64(len(faults)), "coverage-%")
+			}
+		})
+	}
+}
+
 // BenchmarkGoodCircuit_RAM64 measures the baseline every ratio is
 // computed against: the good circuit alone over sequence 1.
 func BenchmarkGoodCircuit_RAM64(b *testing.B) {

@@ -42,12 +42,31 @@ func (r *report) add(fig string, start time.Time, metrics map[string]float64) {
 	r.WallNS[fig] = time.Since(start).Nanoseconds()
 }
 
+// allocCounter snapshots the process-wide cumulative allocation count
+// (runtime.MemStats.Mallocs) so each figure can report the allocations its
+// run performed. The count is a deterministic property of the workload up
+// to minor goroutine-scheduling variance, which the comparison tolerance
+// absorbs — unlike bytes-in-use, it is not perturbed by GC timing.
+type allocCounter struct{ start uint64 }
+
+func startAllocs() allocCounter {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return allocCounter{start: ms.Mallocs}
+}
+
+func (a allocCounter) delta() float64 {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return float64(ms.Mallocs - a.start)
+}
+
 func main() {
 	fig := flag.String("fig", "all", "figure to regenerate: 1, 2, 3, scaling, faultclass, ablation, all")
 	out := flag.String("out", ".", "output directory for CSV files")
 	quick := flag.Bool("quick", false, "use smaller circuit instances (fast smoke runs)")
 	jsonOut := flag.Bool("json", false, "also write BENCH_results.json to the output directory")
-	compare := flag.String("compare", "", "previous BENCH_results.json to compare against; exit non-zero on >20% work-unit regression (wall times informational)")
+	compare := flag.String("compare", "", "previous BENCH_results.json to compare against; exit non-zero on >20% work-unit or allocation-count regression (wall times informational)")
 	flag.Parse()
 
 	if err := os.MkdirAll(*out, 0o755); err != nil {
@@ -59,11 +78,13 @@ func main() {
 	if all || *fig == "1" {
 		fmt.Println("== Figure 1: RAM64, test sequence 1 ==")
 		t0 := time.Now()
+		ac := startAllocs()
 		r, err := bench.Fig1()
 		if err != nil {
 			fatal(err)
 		}
 		rep.add("fig1", t0, map[string]float64{
+			"allocs":         ac.delta(),
 			"conc_vs_good":   r.ConcVsGood,
 			"serial_vs_conc": r.SerialVsConc,
 			"head_fraction":  r.HeadWorkFraction,
@@ -81,11 +102,13 @@ func main() {
 	if all || *fig == "2" {
 		fmt.Println("== Figure 2: RAM64, test sequence 2 ==")
 		t0 := time.Now()
+		ac := startAllocs()
 		r, err := bench.Fig2()
 		if err != nil {
 			fatal(err)
 		}
 		rep.add("fig2", t0, map[string]float64{
+			"allocs":         ac.delta(),
 			"conc_vs_good":   r.ConcVsGood,
 			"serial_vs_conc": r.SerialVsConc,
 			"coverage":       float64(r.Detected) / float64(max(r.Faults, 1)),
@@ -105,11 +128,13 @@ func main() {
 			cfg.Rows, cfg.Cols = 8, 8
 		}
 		t0 := time.Now()
+		ac := startAllocs()
 		r, err := bench.Fig3(cfg)
 		if err != nil {
 			fatal(err)
 		}
 		rep.add("fig3", t0, map[string]float64{
+			"allocs":               ac.delta(),
 			"conc_r2":              r.ConcFit.R2,
 			"serial_r2":            r.SerialFit.R2,
 			"serial_vs_conc_slope": r.SerialVsConcSlope,
@@ -123,11 +148,13 @@ func main() {
 	if all || *fig == "scaling" {
 		fmt.Println("== Scaling: RAM64 vs RAM256 ==")
 		t0 := time.Now()
+		ac := startAllocs()
 		r, err := bench.Scaling(*quick)
 		if err != nil {
 			fatal(err)
 		}
 		rep.add("scaling", t0, map[string]float64{
+			"allocs":        ac.delta(),
 			"good_factor":   r.GoodFactor,
 			"conc_factor":   r.ConcFactor,
 			"serial_factor": r.SerialFactor,
@@ -190,17 +217,20 @@ func main() {
 	}
 }
 
-// regressionTolerance is the accepted slowdown factor on deterministic
-// work-unit metrics before a figure counts as regressed.
+// regressionTolerance is the accepted growth factor on deterministic
+// cost metrics (work units, allocation counts) before a figure counts as
+// regressed.
 const regressionTolerance = 1.20
 
 // compareReports checks this run against a previous report, printing a
-// per-figure verdict. The gate runs on the deterministic "*_work" metrics
-// (solver work units are bit-identical for a given engine, so a >20%
-// growth is a real cost regression, never runner noise); wall-clock times
-// are printed for context only, since CI baselines may come from a
-// different physical runner. Figures present in only one report are noted
-// but do not fail.
+// per-figure verdict. The gate runs on the deterministic cost metrics:
+// the "*_work" keys (solver work units are bit-identical for a given
+// engine, so a >20% growth is a real cost regression, never runner noise)
+// and the "allocs" key (the figure's allocation count — a property of the
+// workload up to minor scheduling variance, so a >20% growth means an
+// allocation path leaked into the hot loop); wall-clock times are printed
+// for context only, since CI baselines may come from a different physical
+// runner. Figures present in only one report are noted but do not fail.
 func compareReports(rep *report, oldPath string, tolerance float64) bool {
 	buf, err := os.ReadFile(oldPath)
 	if err != nil {
@@ -210,7 +240,7 @@ func compareReports(rep *report, oldPath string, tolerance float64) bool {
 	if err := json.Unmarshal(buf, old); err != nil {
 		fatal(fmt.Errorf("parsing %s: %w", oldPath, err))
 	}
-	fmt.Printf("== Comparison against %s (tolerance %.0f%% on work units) ==\n", oldPath, 100*(tolerance-1))
+	fmt.Printf("== Comparison against %s (tolerance %.0f%% on work units and allocs) ==\n", oldPath, 100*(tolerance-1))
 	ok := true
 	compared := 0
 	for fig, metrics := range rep.Figures {
@@ -220,7 +250,7 @@ func compareReports(rep *report, oldPath string, tolerance float64) bool {
 				fig, float64(newNS)/1e9, float64(oldNS)/1e9, float64(newNS)/float64(oldNS))
 		}
 		for key, newVal := range metrics {
-			if !strings.HasSuffix(key, "_work") {
+			if !strings.HasSuffix(key, "_work") && key != "allocs" {
 				continue
 			}
 			oldVal, present := oldMetrics[key]

@@ -15,8 +15,8 @@ package core
 import (
 	"context"
 	"fmt"
+	"math/bits"
 	"runtime"
-	"slices"
 	"sort"
 	"time"
 
@@ -56,13 +56,37 @@ type FaultBatch struct {
 	faults []*faultState
 	live   int // undropped circuits, maintained on drop (O(1) queries)
 
-	// nodeCircs[n] lists the circuits with a divergence record at n,
-	// sorted ascending: the paper's per-node state lists (the good
-	// circuit's entry is implicit: it is the good state itself).
-	nodeCircs [][]CircuitID
+	// Lane packing: circuit ci occupies bit (ci-1)%laneWidth of lane word
+	// (ci-1)/laneWidth. words is the per-node row stride of the packed
+	// planes below. laneWidth < 64 leaves the top bits of every word
+	// unused; it exists so tests and benches can vary occupancy without
+	// changing results.
+	laneWidth int
+	words     int
+
 	// interest[n] refcounts the circuits whose re-simulation triggers
-	// include node n.
-	interest []interestList
+	// include node n; interestMask mirrors it as word-packed per-node
+	// rows (bit set ⟺ count > 0). The mask doubles as the static
+	// divergence rows the per-setting ReplayIndex is built from, and
+	// interestNZ[n] counts its nonzero words (the index build and the
+	// scheduler skip all-zero rows with one load).
+	interest     []interestList
+	interestMask []uint64
+	interestNZ   []int32
+
+	// recRows[recRowIdx[n]] is node n's packed record row (lazily
+	// allocated; recRowIdx[n] < 0 until the first record lands on n):
+	// per lane word, a membership mask of the circuits holding a
+	// divergence record at n and the two-plane encoding of their recorded
+	// values — the paper's per-node state lists, word-packed (the good
+	// circuit's entry is implicit: it is the good state itself).
+	recRowIdx []int32
+	recRows   [][]laneCell
+
+	// ix is the per-setting trajectory index shared by every activated
+	// lane (built once per Step from interestMask; read-only during the
+	// parallel fan-out).
+	ix *switchsim.ReplayIndex
 
 	// Scratch for per-setting scheduling.
 	touchStamp []uint32
@@ -71,14 +95,12 @@ type FaultBatch struct {
 	inputStamp []uint32
 	inputEpoch uint32
 
-	// Per-setting scheduling scratch: the de-dup stamp over circuit ids
-	// and the reused active list / parallel result buffers.
-	activeStamp []uint32
-	activeEpoch uint32
+	// Per-setting scheduling scratch: the word-wide activation
+	// accumulator and the reused active list / parallel result buffers.
+	activeWords []uint64
 	active      []CircuitID
 	results     []stepResult
 	detBuf      []int
-	obsBuf      []CircuitID
 
 	// settingBuf is the reusable reduced setting rebuilt per step from
 	// the trace's input changes; allNodes caches the storage-node list
@@ -95,6 +117,26 @@ type FaultBatch struct {
 	started    bool // the initialization trace has been consumed
 	patternIdx int
 	settingIdx int
+
+	// retired counts circuits dropped so far; Step reports the delta
+	// since the previous Step (the drops of the interleaved observation).
+	retired     int
+	lastRetired int
+}
+
+// laneCell is one lane word of a node's packed record row: the membership
+// mask of circuits holding a divergence record at the node, and the
+// two-plane ternary encoding of their recorded values (non-member lanes
+// hold the zero encoding).
+type laneCell struct {
+	member uint64
+	pl     switchsim.LanePlanes
+}
+
+// lane returns circuit ci's lane coordinates in the packed planes.
+func (b *FaultBatch) lane(ci CircuitID) (word int, bit uint) {
+	fi := int(ci) - 1
+	return fi / b.laneWidth, uint(fi % b.laneWidth)
 }
 
 // NewFaultBatch builds a replay-mode consumer over a shared Tables: the
@@ -119,17 +161,33 @@ func newBatch(tab *switchsim.Tables, good *switchsim.Circuit, faults []fault.Fau
 			return nil, fmt.Errorf("core: observed node %d out of range", o)
 		}
 	}
+	laneWidth := opts.LaneWidth
+	if laneWidth == 0 {
+		laneWidth = 64
+	}
+	if laneWidth < 1 || laneWidth > 64 {
+		return nil, fmt.Errorf("core: LaneWidth %d out of range [1,64]", opts.LaneWidth)
+	}
+	words := (len(faults) + laneWidth - 1) / laneWidth
 	b := &FaultBatch{
-		tab:         tab,
-		nw:          nw,
-		opts:        opts,
-		good:        good,
-		prev:        switchsim.NewCircuit(tab),
-		nodeCircs:   make([][]CircuitID, nw.NumNodes()),
-		interest:    make([]interestList, nw.NumNodes()),
-		touchStamp:  make([]uint32, nw.NumNodes()),
-		inputStamp:  make([]uint32, nw.NumNodes()),
-		activeStamp: make([]uint32, len(faults)+1),
+		tab:          tab,
+		nw:           nw,
+		opts:         opts,
+		good:         good,
+		prev:         switchsim.NewCircuit(tab),
+		laneWidth:    laneWidth,
+		words:        words,
+		interest:     make([]interestList, nw.NumNodes()),
+		interestMask: make([]uint64, nw.NumNodes()*words),
+		interestNZ:   make([]int32, nw.NumNodes()),
+		recRowIdx:    make([]int32, nw.NumNodes()),
+		ix:           switchsim.NewReplayIndex(tab),
+		touchStamp:   make([]uint32, nw.NumNodes()),
+		inputStamp:   make([]uint32, nw.NumNodes()),
+		activeWords:  make([]uint64, words),
+	}
+	for i := range b.recRowIdx {
+		b.recRowIdx[i] = -1
 	}
 	if good == nil {
 		b.good = switchsim.NewCircuit(tab)
@@ -269,7 +327,7 @@ func (b *FaultBatch) touch(n netlist.NodeID) {
 // statistics (the caller owns the good-side fields).
 func (b *FaultBatch) Step(trace *switchsim.StepTrace) SettingStats {
 	t0 := time.Now()
-	w0 := b.faultWorkUnits()
+	w0 := b.faultWork()
 
 	if b.ownsGood {
 		// Advance the owned good mirror to the post-step state before
@@ -284,6 +342,16 @@ func (b *FaultBatch) Step(trace *switchsim.StepTrace) SettingStats {
 		// back to full replays this step (also the FullReplay ablation's
 		// path).
 		traj = nil
+	}
+	if traj != nil && len(b.faults) > 0 {
+		// One shared index serves every activated lane this setting: the
+		// trajectory indexing and static-flag closure that each circuit's
+		// replay used to recompute (SettleReplay's Pass A) is paid once
+		// per setting for the whole word group. interestMask is exactly
+		// the per-lane static divergence rows: write-back only ever
+		// mutates a circuit's own lane bits, so the snapshot taken here
+		// matches what each circuit would have seeded at its own turn.
+		b.ix.Build(traj, b.words, b.interestMask, b.interestNZ)
 	}
 
 	var nActive int
@@ -311,14 +379,24 @@ func (b *FaultBatch) Step(trace *switchsim.StepTrace) SettingStats {
 	b.applyDelta(trace.Changed)
 	b.trimDeltaLog()
 
+	dw := b.faultWork().Sub(w0)
 	st := SettingStats{
 		Pattern:        b.patternIdx,
 		Setting:        b.settingIdx,
 		ActiveCircuits: nActive,
 		LiveFaults:     b.live,
-		FaultWork:      b.faultWorkUnits() - w0,
+		FaultWork:      dw.Units(),
 		FaultNS:        time.Since(t0).Nanoseconds(),
+		AdoptedVics:    dw.AdoptedVics,
+		SolvedVics:     dw.Vicinities,
+		FaultsRetired:  b.retired - b.lastRetired,
 	}
+	if traj != nil {
+		st.LanesReplayed = nActive
+	} else {
+		st.ScalarFallbacks = nActive
+	}
+	b.lastRetired = b.retired
 	if !trace.Init {
 		b.settingIdx++
 	}
@@ -395,23 +473,39 @@ func (b *FaultBatch) applyToCircuit(c *switchsim.Circuit, chs []switchsim.Change
 // simulateActivated schedules every live circuit whose interest set
 // intersects the touched region and re-simulates each: against the good
 // trajectory when one is available (adopting identical regions, solving
-// divergent ones — see switchsim.SettleReplay), or by a full replay of
-// the setting otherwise. Returns the number of activated circuits.
+// divergent ones — see switchsim.SettleReplayIndexed), or by a full
+// replay of the setting otherwise. Returns the number of activated
+// circuits.
+//
+// Scheduling is word-wide: the touched nodes' interest-mask rows OR into
+// one lane accumulator (64 circuits per operation), and the set bits are
+// the candidate circuits — deduplicated and in ascending id order for
+// free, replacing the per-entry stamp scan and sort of the unpacked
+// design.
 func (b *FaultBatch) simulateActivated(setting switchsim.Setting, traj *switchsim.Trajectory, goodChanged []switchsim.Change) int {
-	b.activeEpoch++
-	b.active = b.active[:0]
+	aw := b.activeWords
+	for w := range aw {
+		aw[w] = 0
+	}
 	for _, n := range b.touched {
-		for _, e := range b.interest[n] {
-			if b.activeStamp[e.ci] == b.activeEpoch {
-				continue
-			}
-			b.activeStamp[e.ci] = b.activeEpoch
-			if fs := b.faults[e.ci-1]; !fs.dropped && !b.faultInert(fs) {
-				b.active = append(b.active, e.ci)
+		if b.interestNZ[n] == 0 {
+			continue
+		}
+		row := b.interestMask[int(n)*b.words:]
+		for w := range aw {
+			aw[w] |= row[w]
+		}
+	}
+	b.active = b.active[:0]
+	for w, m := range aw {
+		for m != 0 {
+			fi := w*b.laneWidth + bits.TrailingZeros64(m)
+			m &= m - 1
+			if fs := b.faults[fi]; !fs.dropped && !b.faultInert(fs) {
+				b.active = append(b.active, CircuitID(fi+1))
 			}
 		}
 	}
-	slices.Sort(b.active)
 	b.runActivated(setting, nil, traj, goodChanged)
 	return len(b.active)
 }
@@ -453,50 +547,58 @@ func (b *FaultBatch) wasTouched(n netlist.NodeID) bool {
 // divergence record there against the good circuit, recording detections
 // and dropping circuits per the policy. Only circuits that actually
 // diverge at an output are examined — the paper's reason for keeping
-// per-node state lists. Returns the batch indices of the faults first
-// detected by this observation.
+// per-node state lists, here word-packed: one EqValueMask per lane word
+// discharges up to 64 circuits whose recorded value happens to equal the
+// good output, and the surviving bits are detections. Returns the batch
+// indices of the faults first detected by this observation.
 func (b *FaultBatch) Observe() []int {
 	detectedNow := b.detBuf[:0]
 	for _, o := range b.opts.Observe {
-		gv := b.good.Value(o)
-		circs := b.nodeCircs[o]
-		if len(circs) == 0 {
+		ri := b.recRowIdx[o]
+		if ri < 0 {
 			continue
 		}
-		// Iterate over a reused snapshot: drops mutate the list.
-		b.obsBuf = append(b.obsBuf[:0], circs...)
-		for _, ci := range b.obsBuf {
-			fs := b.faults[ci-1]
-			if fs.dropped {
-				continue // dropped at an earlier output this observation
-			}
-			fv, ok := fs.recs.get(o)
-			if !ok || fv == gv {
-				continue // defensive: records should exist and differ
-			}
-			hard := gv.Definite() && fv.Definite()
-			// Under DropHardOnly, an X-vs-definite difference is only a
-			// potential detection and does not count; otherwise any
-			// difference detects, per the paper.
-			counts := hard || b.opts.Drop != DropHardOnly
-			if counts && !fs.detected {
-				fs.det = Detection{
-					Pattern: b.patternIdx, Setting: b.settingIdx - 1,
-					Output: o, Good: gv, Faulty: fv, Hard: hard,
+		row := b.recRows[ri]
+		gv := b.good.Value(o)
+		for w := range row {
+			// The word snapshot is the iteration's working set: drops at
+			// this or earlier outputs clear member bits in the shared row,
+			// so each surviving bit is re-checked against fs.dropped.
+			m := row[w].member &^ row[w].pl.EqValueMask(gv)
+			for m != 0 {
+				bit := uint(bits.TrailingZeros64(m))
+				m &= m - 1
+				fi := w*b.laneWidth + int(bit)
+				ci := CircuitID(fi + 1)
+				fs := b.faults[fi]
+				if fs.dropped {
+					continue // dropped at an earlier output this observation
 				}
-				fs.detected = true
-				detectedNow = append(detectedNow, int(ci-1))
-			}
-			drop := false
-			switch b.opts.Drop {
-			case DropAnyDifference:
-				drop = true
-			case DropHardOnly:
-				drop = hard
-			case NeverDrop:
-			}
-			if drop {
-				b.dropCircuit(ci)
+				fv := row[w].pl.Get(bit)
+				hard := gv.Definite() && fv.Definite()
+				// Under DropHardOnly, an X-vs-definite difference is only a
+				// potential detection and does not count; otherwise any
+				// difference detects, per the paper.
+				counts := hard || b.opts.Drop != DropHardOnly
+				if counts && !fs.detected {
+					fs.det = Detection{
+						Pattern: b.patternIdx, Setting: b.settingIdx - 1,
+						Output: o, Good: gv, Faulty: fv, Hard: hard,
+					}
+					fs.detected = true
+					detectedNow = append(detectedNow, fi)
+				}
+				drop := false
+				switch b.opts.Drop {
+				case DropAnyDifference:
+					drop = true
+				case DropHardOnly:
+					drop = hard
+				case NeverDrop:
+				}
+				if drop {
+					b.dropCircuit(ci)
+				}
 			}
 		}
 	}
@@ -582,6 +684,7 @@ func (b *FaultBatch) RunRecording(ctx context.Context, rec *switchsim.Recording,
 			}
 			ps.Settings++
 			var det []int
+			retired0 := b.retired
 			if p.ObserveAt(i) {
 				det = b.Observe()
 				ps.Detected += len(det)
@@ -594,6 +697,15 @@ func (b *FaultBatch) RunRecording(ctx context.Context, rec *switchsim.Recording,
 					LiveFaults:     b.live,
 					Detected:       det,
 					DetectedTotal:  detTotal,
+					// Occupancy: the setting's replay split plus the drops
+					// of the observation that just ran (fresher than the
+					// one-setting lag SettingStats reports).
+					LanesReplayed:   st.LanesReplayed,
+					ScalarFallbacks: st.ScalarFallbacks,
+					AdoptedVics:     st.AdoptedVics,
+					SolvedVics:      st.SolvedVics,
+					FaultsRetired:   b.retired - retired0,
+					LaneCapacity:    b.words * b.laneWidth,
 				})
 			}
 		}

@@ -48,6 +48,23 @@
 // so results are bit-identical for every Options.Workers value; across
 // batches, any partition of the fault universe replayed against the same
 // recording merges (at setting granularity) to the monolithic result.
+//
+// # Word-packed lanes
+//
+// Inside a batch, faulty circuits are packed into 64-bit lane words
+// (Options.LaneWidth circuits per word, up to 64): circuit ci occupies
+// bit (ci-1)%laneWidth of word (ci-1)/laneWidth. The packing drives
+// three word-wide structures — per-node interest masks answering "which
+// circuits care about this node" with popcounts instead of list walks, a
+// per-setting switchsim.ReplayIndex whose static-divergence flag closure
+// is built once per word and shared by every circuit in it, and packed
+// divergence-record rows (two-plane ternary values, switchsim.LanePlanes)
+// that make the post-settle diff and Observe comparison word-wide.
+// Retiring a detected circuit clears its lane bit from each row it
+// occupies (O(records), no per-node list surgery). All of it is pure
+// indexing: lane width changes how circuits are grouped, never what any
+// circuit computes, so BatchResult is byte-identical at every
+// Options.LaneWidth (TestBatchLaneWidthInvariance).
 // Recordings carry a fingerprint (network shape + setting count) that
 // RunBatch validates before replaying. Cancellation (the RunBatch
 // context) and progress reporting (Options.OnObserve) never affect

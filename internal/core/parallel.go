@@ -140,21 +140,6 @@ func (w *faultWorker) noteUndo(n netlist.NodeID) {
 	}
 }
 
-// seedInterest opens the solver's replay epoch and seeds the circuit's
-// static interest set — its divergence records with their gated channel
-// terminals (the same neighborhood the interest index registers, via
-// recordInterestNodes), plus its static sites — as diverged, blocking
-// trajectory adoption there.
-func (w *faultWorker) seedInterest(fs *faultState) {
-	w.solve.BeginReplay()
-	for _, n := range fs.recs.nodes {
-		w.batch.recordInterestNodes(n, w.solve.SeedDiverged)
-	}
-	for _, n := range fs.sites {
-		w.solve.SeedDiverged(n)
-	}
-}
-
 // diffNode compares the scratch (faulty) state against the good post-step
 // state at node n and appends the record mutation, if any, to the op
 // arena. Nodes already diffed this epoch are skipped. Input nodes are
@@ -243,8 +228,14 @@ func (w *faultWorker) stepFaulty(ci CircuitID, setting switchsim.Setting, extraS
 
 	var res switchsim.SettleResult
 	if traj != nil {
-		w.seedInterest(fs)
-		res = w.solve.SettleReplay(w.scratch, seeds, traj)
+		// The prebuilt per-setting index carries this circuit's static
+		// divergence set in its lane of the interest-mask rows (the same
+		// neighborhood the retired per-circuit seeding registered:
+		// divergence records with their gated channel terminals, plus the
+		// fault sites), so no per-circuit trajectory indexing or seeding
+		// happens here — see FaultBatch.Step and SettleReplayIndexed.
+		word, bit := b.lane(ci)
+		res = w.solve.SettleReplayIndexed(w.scratch, seeds, b.ix, word, bit)
 	} else {
 		res = w.solve.Settle(w.scratch, seeds)
 	}
@@ -426,13 +417,14 @@ func (b *FaultBatch) trimDeltaLog() {
 	}
 }
 
-// faultWorkUnits sums the fault-side solver work across the pool. Each
-// circuit's work is deterministic and the sum is order-independent, so
-// the total is identical for every worker count.
-func (b *FaultBatch) faultWorkUnits() int64 {
-	var t int64
+// faultWork sums the fault-side solver work counters across the pool.
+// Each circuit's work is deterministic and the sum is order-independent,
+// so the total is identical for every worker count (and every lane
+// width: the per-lane replay examines only its own lane's divergence).
+func (b *FaultBatch) faultWork() switchsim.Work {
+	var t switchsim.Work
 	for _, w := range b.workers {
-		t += w.solve.Work().Units()
+		t.Add(w.solve.Work())
 	}
 	return t
 }

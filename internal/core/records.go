@@ -2,20 +2,42 @@ package core
 
 import (
 	"fmt"
+	"math/bits"
 	"sort"
 
 	"fmossim/internal/logic"
 	"fmossim/internal/netlist"
 )
 
-// incInterest registers circuit ci as interested in node n.
+// incInterest registers circuit ci as interested in node n, setting the
+// circuit's lane bit in the node's packed interest-mask row (and bumping
+// the row's nonzero-word summary on a 0→1 word transition).
 func (b *FaultBatch) incInterest(n netlist.NodeID, ci CircuitID) {
 	b.interest[n] = b.interest[n].inc(ci)
+	word, bit := b.lane(ci)
+	w := &b.interestMask[int(n)*b.words+word]
+	if *w == 0 {
+		b.interestNZ[n]++
+	}
+	*w |= 1 << bit
 }
 
-// decInterest removes one interest reference.
+// decInterest removes one interest reference, clearing the lane bit when
+// the count reaches zero.
 func (b *FaultBatch) decInterest(n netlist.NodeID, ci CircuitID) {
 	b.interest[n] = b.interest[n].dec(ci)
+	if _, ok := b.interest[n].find(ci); ok {
+		return
+	}
+	word, bit := b.lane(ci)
+	w := &b.interestMask[int(n)*b.words+word]
+	if *w>>bit&1 == 0 {
+		return
+	}
+	*w &^= 1 << bit
+	if *w == 0 {
+		b.interestNZ[n]--
+	}
 }
 
 // recordInterestNodes visits the nodes whose interest registration follows
@@ -48,16 +70,34 @@ func (b *FaultBatch) decRecordInterest(n netlist.NodeID, ci CircuitID) {
 	b.recordInterestNodes(n, func(m netlist.NodeID) { b.decInterest(m, ci) })
 }
 
-// setRecord inserts or updates the divergence record ⟨ci, v⟩ at node n.
+// recRow returns node n's packed record row, allocating it on first use.
+// Rows are lazy so a batch's footprint scales with the nodes that ever
+// carry divergence, not numNodes × words.
+func (b *FaultBatch) recRow(n netlist.NodeID) []laneCell {
+	ri := b.recRowIdx[n]
+	if ri < 0 {
+		ri = int32(len(b.recRows))
+		b.recRowIdx[n] = ri
+		b.recRows = append(b.recRows, make([]laneCell, b.words))
+	}
+	return b.recRows[ri]
+}
+
+// setRecord inserts or updates the divergence record ⟨ci, v⟩ at node n,
+// maintaining the node's packed row: membership bit plus the two-plane
+// encoding of v in the circuit's lane.
 func (b *FaultBatch) setRecord(n netlist.NodeID, ci CircuitID, v logic.Value) {
 	fs := b.faults[ci-1]
 	i, exists := fs.recs.find(n)
+	word, bit := b.lane(ci)
+	cell := &b.recRow(n)[word]
+	cell.pl.Set(bit, v)
 	if exists {
 		fs.recs.vals[i] = v
 		return
 	}
+	cell.member |= 1 << bit
 	fs.recs.insertAt(i, n, v)
-	b.insertNodeCirc(n, ci)
 	b.incRecordInterest(n, ci)
 }
 
@@ -70,36 +110,23 @@ func (b *FaultBatch) clearRecord(n netlist.NodeID, ci CircuitID) {
 		return
 	}
 	fs.recs.deleteAt(i)
-	b.removeNodeCirc(n, ci)
+	word, bit := b.lane(ci)
+	cell := &b.recRows[b.recRowIdx[n]][word]
+	cell.member &^= 1 << bit
+	cell.pl.Clear(bit)
 	b.decRecordInterest(n, ci)
 }
 
-// insertNodeCirc inserts ci into node n's sorted circuit list.
-func (b *FaultBatch) insertNodeCirc(n netlist.NodeID, ci CircuitID) {
-	l := b.nodeCircs[n]
-	i := sort.Search(len(l), func(k int) bool { return l[k] >= ci })
-	l = append(l, 0)
-	copy(l[i+1:], l[i:])
-	l[i] = ci
-	b.nodeCircs[n] = l
-}
-
-// removeNodeCirc removes ci from node n's sorted circuit list.
-func (b *FaultBatch) removeNodeCirc(n netlist.NodeID, ci CircuitID) {
-	l := b.nodeCircs[n]
-	i := sort.Search(len(l), func(k int) bool { return l[k] >= ci })
-	if i < len(l) && l[i] == ci {
-		b.nodeCircs[n] = append(l[:i], l[i+1:]...)
-	}
-}
-
-// dropCircuit purges every record and interest registration of circuit ci;
-// it will never be simulated again. O(size of the circuit's state), per
-// the paper's fault dropping.
+// dropCircuit purges every record and interest registration of circuit ci
+// — its lane bit leaves every packed plane in O(records), and it will
+// never be simulated again: the paper's fault dropping, lane-mask retired.
 func (b *FaultBatch) dropCircuit(ci CircuitID) {
 	fs := b.faults[ci-1]
+	word, bit := b.lane(ci)
 	for _, n := range fs.recs.nodes {
-		b.removeNodeCirc(n, ci)
+		cell := &b.recRows[b.recRowIdx[n]][word]
+		cell.member &^= 1 << bit
+		cell.pl.Clear(bit)
 		b.decRecordInterest(n, ci)
 	}
 	fs.recs.release()
@@ -108,6 +135,7 @@ func (b *FaultBatch) dropCircuit(ci CircuitID) {
 	}
 	fs.dropped = true
 	b.live--
+	b.retired++
 }
 
 // CheckInvariants verifies the bidirectional consistency of the record
@@ -117,10 +145,12 @@ func (b *FaultBatch) dropCircuit(ci CircuitID) {
 func (b *FaultBatch) CheckInvariants() error { return b.checkRecordInvariants() }
 
 // checkRecordInvariants verifies the bidirectional consistency of the
-// record stores and interest index; used by tests.
+// record stores, the packed record rows, and the interest index; used by
+// tests.
 func (b *FaultBatch) checkRecordInvariants() error {
-	// Every per-circuit record appears in the per-node list and vice
-	// versa, and the per-circuit stores are sorted.
+	// Every per-circuit record appears as a member bit in the node's
+	// packed row with the matching two-plane value, and vice versa, and
+	// the per-circuit stores are sorted.
 	for fi, fs := range b.faults {
 		ci := CircuitID(fi + 1)
 		if !sort.SliceIsSorted(fs.recs.nodes, func(a, b int) bool {
@@ -128,28 +158,48 @@ func (b *FaultBatch) checkRecordInvariants() error {
 		}) {
 			return errf("circuit %d record store unsorted", ci)
 		}
-		for _, n := range fs.recs.nodes {
-			l := b.nodeCircs[n]
-			i := sort.Search(len(l), func(k int) bool { return l[k] >= ci })
-			if i >= len(l) || l[i] != ci {
-				return errf("record (%d,%s) missing from node list", ci, b.nw.Name(n))
+		word, bit := b.lane(ci)
+		for i, n := range fs.recs.nodes {
+			ri := b.recRowIdx[n]
+			if ri < 0 {
+				return errf("record (%d,%s): node has no packed row", ci, b.nw.Name(n))
+			}
+			cell := &b.recRows[ri][word]
+			if cell.member>>bit&1 == 0 {
+				return errf("record (%d,%s) missing from packed row", ci, b.nw.Name(n))
+			}
+			if got := cell.pl.Get(bit); got != fs.recs.vals[i] {
+				return errf("record (%d,%s) plane value %v, store %v", ci, b.nw.Name(n), got, fs.recs.vals[i])
 			}
 		}
 	}
-	for n := range b.nodeCircs {
-		for _, ci := range b.nodeCircs[n] {
-			fs := b.faults[ci-1]
-			if fs.dropped {
-				return errf("dropped circuit %d still on node %s", ci, b.nw.Name(netlist.NodeID(n)))
-			}
-			if _, ok := fs.recs.get(netlist.NodeID(n)); !ok {
-				return errf("node list entry (%d,%s) has no record", ci, b.nw.Name(netlist.NodeID(n)))
-			}
+	for n := 0; n < b.nw.NumNodes(); n++ {
+		ri := b.recRowIdx[n]
+		if ri < 0 {
+			continue
 		}
-		if !sort.SliceIsSorted(b.nodeCircs[n], func(x, y int) bool {
-			return b.nodeCircs[n][x] < b.nodeCircs[n][y]
-		}) {
-			return errf("node %s circuit list unsorted", b.nw.Name(netlist.NodeID(n)))
+		row := b.recRows[ri]
+		for w := range row {
+			cell := &row[w]
+			if !cell.pl.Canonical() {
+				return errf("node %s word %d: non-canonical planes", b.nw.Name(netlist.NodeID(n)), w)
+			}
+			if cell.pl.V&^cell.member != 0 || cell.pl.X&^cell.member != 0 {
+				return errf("node %s word %d: plane bits outside membership", b.nw.Name(netlist.NodeID(n)), w)
+			}
+			for m := cell.member; m != 0; m &= m - 1 {
+				fi := w*b.laneWidth + bits.TrailingZeros64(m)
+				if fi >= len(b.faults) {
+					return errf("node %s word %d: member bit beyond fault count", b.nw.Name(netlist.NodeID(n)), w)
+				}
+				fs := b.faults[fi]
+				if fs.dropped {
+					return errf("dropped circuit %d still packed on node %s", fi+1, b.nw.Name(netlist.NodeID(n)))
+				}
+				if _, ok := fs.recs.get(netlist.NodeID(n)); !ok {
+					return errf("packed member (%d,%s) has no record", fi+1, b.nw.Name(netlist.NodeID(n)))
+				}
+			}
 		}
 	}
 	// The live counter matches a fresh scan.
@@ -214,6 +264,29 @@ func (b *FaultBatch) checkRecordInvariants() error {
 			return b.interest[n][x].ci < b.interest[n][y].ci
 		}) {
 			return errf("node %s interest list unsorted", b.nw.Name(netlist.NodeID(n)))
+		}
+	}
+	// The packed interest mask is exactly the bitmap of the interest
+	// lists, and the nonzero-word summaries match.
+	for n := 0; n < b.nw.NumNodes(); n++ {
+		row := b.interestMask[n*b.words : (n+1)*b.words]
+		wantRow := make([]uint64, b.words)
+		for _, e := range b.interest[n] {
+			word, bit := b.lane(e.ci)
+			wantRow[word] |= 1 << bit
+		}
+		nz := int32(0)
+		for w := range row {
+			if row[w] != wantRow[w] {
+				return errf("interest mask row %s word %d: %#x, want %#x",
+					b.nw.Name(netlist.NodeID(n)), w, row[w], wantRow[w])
+			}
+			if row[w] != 0 {
+				nz++
+			}
+		}
+		if b.interestNZ[n] != nz {
+			return errf("interestNZ[%s]=%d, scan finds %d", b.nw.Name(netlist.NodeID(n)), b.interestNZ[n], nz)
 		}
 	}
 	return nil

@@ -5,7 +5,9 @@ import (
 	"io"
 )
 
-// SettingStats instruments one input setting.
+// SettingStats instruments one input setting. All fields except the NS
+// wall-clock figures are deterministic: identical for every worker count,
+// shard split, and lane width.
 type SettingStats struct {
 	Pattern, Setting int
 	// ActiveCircuits is the number of faulty circuits re-simulated.
@@ -16,6 +18,21 @@ type SettingStats struct {
 	GoodWork, FaultWork int64
 	// GoodNS/FaultNS are wall-clock nanoseconds.
 	GoodNS, FaultNS int64
+
+	// Lane occupancy: LanesReplayed counts activated circuits settled
+	// against the shared trajectory index this setting; ScalarFallbacks
+	// counts those that fell back to a full scalar settle (oscillated
+	// good step, or the FullReplay ablation). The two split
+	// ActiveCircuits exactly.
+	LanesReplayed, ScalarFallbacks int
+	// AdoptedVics/SolvedVics split the replayed circuits' vicinity
+	// servicing: trajectory vicinities adopted whole vs solved with full
+	// switch-level dynamics.
+	AdoptedVics, SolvedVics int64
+	// FaultsRetired counts circuits dropped (lane bits retired from every
+	// packed plane) since the previous setting's stats — i.e. by the
+	// observation interleaved between them.
+	FaultsRetired int
 }
 
 // PatternStats instruments one pattern (one clock cycle of settings).

@@ -357,7 +357,17 @@ func (c *Circuit) OverrideValue(n netlist.NodeID, v logic.Value) {
 // by node n from its current value (and any pins).
 func (c *Circuit) RefreshGates(n netlist.NodeID) {
 	gv := c.val[n]
-	for _, e := range c.Tab.GatedByOf(n) {
+	gates := c.Tab.GatedByOf(n)
+	if c.nPins == 0 {
+		// No pinned transistors anywhere (the common case: the good
+		// circuit always, faulty circuits for every node fault) — skip the
+		// per-transistor pin probe.
+		for _, e := range gates {
+			c.ts[e.T] = logic.SwitchState(e.Typ, gv)
+		}
+		return
+	}
+	for _, e := range gates {
 		if p := c.pinTrans[e.T]; p != unpinned {
 			c.ts[e.T] = logic.Value(p)
 			continue

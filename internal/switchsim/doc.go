@@ -24,6 +24,13 @@
 //   - Simulator: the user-facing logic simulator driving test sequences.
 //   - Recording/StepTrace: the serializable trajectory artifact described
 //     below.
+//   - LanePlanes and ReplayIndex: word-packed lane primitives for the
+//     concurrent fault simulator — a two-plane ternary encoding holding
+//     one value for each of up to 64 circuits per 64-bit word, and a
+//     per-setting index whose flag-then-mark closure over a recording's
+//     trajectories is built once per lane word and shared by every
+//     circuit in it (internal/core packs faulty circuits into lanes;
+//     see that package's doc for the lane lifecycle).
 //
 // # Recording fingerprint contract
 //

@@ -1,0 +1,142 @@
+package switchsim
+
+import (
+	"testing"
+
+	"fmossim/internal/logic"
+)
+
+var ternary = []logic.Value{logic.Lo, logic.Hi, logic.X}
+
+// TestLaneOpsMatchTruthTables checks every lane operation against the
+// scalar internal/logic truth tables, exhaustively over all ternary value
+// pairs, in every lane position with adversarial neighbor lanes.
+func TestLaneOpsMatchTruthTables(t *testing.T) {
+	// Neighbor fillers exercise cross-lane independence: all-Lo, all-Hi,
+	// all-X around the lane under test.
+	for _, fill := range ternary {
+		for bit := uint(0); bit < 64; bit += 7 {
+			for _, a := range ternary {
+				for _, b := range ternary {
+					p := Broadcast(fill)
+					q := Broadcast(fill)
+					p.Set(bit, a)
+					q.Set(bit, b)
+					if !p.Canonical() || !q.Canonical() {
+						t.Fatalf("fill=%v bit=%d: non-canonical planes", fill, bit)
+					}
+					if got := p.Get(bit); got != a {
+						t.Fatalf("Get(Set(%v)) = %v", a, got)
+					}
+
+					if got, want := p.EqMask(q)>>bit&1 == 1, a == b; got != want {
+						t.Errorf("EqMask(%v,%v) lane bit = %v, want %v", a, b, got, want)
+					}
+					if got, want := p.EqValueMask(b)>>bit&1 == 1, a == b; got != want {
+						t.Errorf("EqValueMask(%v,%v) = %v, want %v", a, b, got, want)
+					}
+					if got, want := p.DefiniteMask()>>bit&1 == 1, a.Definite(); got != want {
+						t.Errorf("DefiniteMask(%v) = %v, want %v", a, got, want)
+					}
+					if got, want := p.Not().Get(bit), a.Not(); got != want {
+						t.Errorf("Not(%v) = %v, want %v", a, got, want)
+					}
+					if got, want := p.Lub(q).Get(bit), logic.Lub(a, b); got != want {
+						t.Errorf("Lub(%v,%v) = %v, want %v", a, b, got, want)
+					}
+					if got, want := p.CoversMask(q)>>bit&1 == 1, logic.Covers(a, b); got != want {
+						t.Errorf("CoversMask(%v,%v) = %v, want %v", a, b, got, want)
+					}
+					if !p.Not().Canonical() || !p.Lub(q).Canonical() {
+						t.Fatalf("Not/Lub broke canonical form for (%v,%v)", a, b)
+					}
+
+					// The lane under test must not leak into neighbors.
+					for _, nb := range []uint{(bit + 1) % 64, (bit + 63) % 64} {
+						if got := p.Get(nb); got != fill {
+							t.Fatalf("Set(%d,%v) disturbed lane %d: %v != %v", bit, a, nb, got, fill)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestBroadcast(t *testing.T) {
+	for _, v := range ternary {
+		p := Broadcast(v)
+		if !p.Canonical() {
+			t.Fatalf("Broadcast(%v) not canonical", v)
+		}
+		for bit := uint(0); bit < 64; bit++ {
+			if got := p.Get(bit); got != v {
+				t.Fatalf("Broadcast(%v).Get(%d) = %v", v, bit, got)
+			}
+		}
+		if got := p.EqValueMask(v); got != ^uint64(0) {
+			t.Fatalf("Broadcast(%v).EqValueMask = %#x", v, got)
+		}
+	}
+}
+
+func TestLaneClear(t *testing.T) {
+	p := Broadcast(logic.X)
+	p.Clear(17)
+	if got := p.Get(17); got != logic.Lo {
+		t.Fatalf("Clear left %v", got)
+	}
+	if got := p.Get(18); got != logic.X {
+		t.Fatalf("Clear disturbed neighbor: %v", got)
+	}
+}
+
+// FuzzLaneOps round-trips arbitrary plane pairs through pack/unpack and
+// cross-checks every word-wide operation against the scalar truth tables
+// lane by lane. Non-canonical inputs are first canonicalized the way the
+// decoder sees them (X wins over V).
+func FuzzLaneOps(f *testing.F) {
+	f.Add(uint64(0), uint64(0), uint64(0), uint64(0))
+	f.Add(^uint64(0), uint64(0), uint64(0), ^uint64(0))
+	f.Add(uint64(0xdeadbeef), uint64(0x12345678), uint64(0x0f0f0f0f), uint64(0xf0f0f0f0))
+	f.Fuzz(func(t *testing.T, pv, px, qv, qx uint64) {
+		// Canonicalize: the X plane wins, as Get defines.
+		p := LanePlanes{V: pv &^ px, X: px}
+		q := LanePlanes{V: qv &^ qx, X: qx}
+
+		// Pack/unpack round trip.
+		var rp LanePlanes
+		for bit := uint(0); bit < 64; bit++ {
+			rp.Set(bit, p.Get(bit))
+		}
+		if rp != p {
+			t.Fatalf("round trip: %+v != %+v", rp, p)
+		}
+
+		eq := p.EqMask(q)
+		cov := p.CoversMask(q)
+		not := p.Not()
+		lub := p.Lub(q)
+		if !not.Canonical() || !lub.Canonical() {
+			t.Fatalf("op broke canonical form")
+		}
+		for bit := uint(0); bit < 64; bit++ {
+			a, b := p.Get(bit), q.Get(bit)
+			if got, want := eq>>bit&1 == 1, a == b; got != want {
+				t.Fatalf("EqMask bit %d: %v want %v (a=%v b=%v)", bit, got, want, a, b)
+			}
+			if got, want := cov>>bit&1 == 1, logic.Covers(a, b); got != want {
+				t.Fatalf("CoversMask bit %d: %v want %v (a=%v b=%v)", bit, got, want, a, b)
+			}
+			if got, want := not.Get(bit), a.Not(); got != want {
+				t.Fatalf("Not bit %d: %v want %v", bit, got, want)
+			}
+			if got, want := lub.Get(bit), logic.Lub(a, b); got != want {
+				t.Fatalf("Lub bit %d: %v want %v", bit, got, want)
+			}
+			if got, want := p.DefiniteMask()>>bit&1 == 1, a.Definite(); got != want {
+				t.Fatalf("DefiniteMask bit %d: %v want %v", bit, got, want)
+			}
+		}
+	})
+}

@@ -179,6 +179,7 @@ func (s *Solver) SettleReplay(c *Circuit, seeds []netlist.NodeID, traj *Trajecto
 					}
 				}
 				if adoptable {
+					s.work.AdoptedVics++
 					for _, u := range vt.Members {
 						s.stamp[u] = s.epoch // serviced
 					}
@@ -235,6 +236,212 @@ func (s *Solver) SettleReplay(c *Circuit, seeds []netlist.NodeID, traj *Trajecto
 	return res
 }
 
+// SettleReplayIndexed is SettleReplay driven by a prebuilt ReplayIndex:
+// the trajectory indexing and static flag computation that SettleReplay
+// performs per circuit (Pass A) come precomputed from the index, shared by
+// every lane of the word group, and only this lane's dynamic divergence is
+// examined per round. The replay is the index's lane (word, bit); the
+// caller must have Built the index from this setting's trajectory and a
+// div row set in which that lane's bits are exactly the static divergence
+// set it would otherwise have seeded via BeginReplay/SeedDiverged. No
+// seeding calls are needed (or allowed): the replay opens its own epoch.
+//
+// Lane-for-lane, the replay makes the same adoption decisions and solves
+// the same vicinities in the same order as SettleReplay, with one
+// refinement: members of already-adopted vicinities are excluded from the
+// same round's later explorations by the index's vicinity map instead of
+// by member stamps, so adopting a vicinity is O(changes), not O(members).
+// A faulty circuit can only conduct into an adopted vicinity through a
+// transistor whose gate diverged after the adoption decision; the gate's
+// change marks the terminals diverged and perturbs them for the next
+// round, where the vicinity is flagged and re-solved — the unit-delay
+// schedule the scalar path follows too.
+func (s *Solver) SettleReplayIndexed(c *Circuit, seeds []netlist.NodeID, ix *ReplayIndex, word int, bit uint) SettleResult {
+	nw := s.tab.Net
+	traj := ix.traj
+	s.work.Settles++
+	s.exploredEpoch++
+	s.explored = s.explored[:0]
+	s.changedEpoch++
+	s.changed = s.changed[:0]
+	s.dynEpoch++
+	s.dynList = s.dynList[:0]
+
+	maxRounds := s.MaxRounds
+	if maxRounds <= 0 {
+		maxRounds = s.defaultMaxRounds()
+	}
+	hardCap := maxRounds + 2*(nw.NumNodes()+nw.NumTransistors()) + 16
+
+	s.pend = s.pend[:0]
+	s.next = s.next[:0]
+	s.pendEpoch++
+	for _, n := range seeds {
+		if c.IsInputLike(n) || s.pendStamp[n] == s.pendEpoch {
+			continue
+		}
+		s.pendStamp[n] = s.pendEpoch
+		s.pend = append(s.pend, n)
+	}
+
+	res := SettleResult{}
+	xmode := false
+	adopted := int64(0)
+
+	for round := 0; len(s.pend) > 0; round++ {
+		res.Rounds++
+		s.work.Rounds++
+		if res.Rounds > maxRounds && !xmode {
+			xmode = true
+			res.Oscillated = true
+		}
+		if res.Rounds > hardCap {
+			for _, n := range s.pend {
+				if c.val[n] != logic.X {
+					c.val[n] = logic.X
+					s.noteChanged(n)
+				}
+			}
+			break
+		}
+
+		s.epoch++ // vicinity stamps for this round
+		s.next = s.next[:0]
+		s.pendEpoch++
+
+		var (
+			trajRound []VicTrace
+			vicOf     []int32
+			vicStamp  []uint32
+			flags     []uint64
+		)
+		if round < ix.rounds {
+			trajRound = traj.Round(round)
+			vicOf, vicStamp = ix.vicOf[round], ix.vicStamp[round]
+			flags = ix.flags[round]
+		}
+		if cap(s.vicState) < len(trajRound) {
+			s.vicState = make([]uint8, len(trajRound)*2)
+		}
+		vicState := s.vicState[:len(trajRound)]
+
+		// Static flags: one bit probe per vicinity, precomputed by Build.
+		// The flags layout is word-major, so this lane's probes are one
+		// contiguous branchless scan.
+		fw := flags[word*len(trajRound):]
+		for vi := range vicState {
+			vicState[vi] = uint8(fw[vi]>>bit) & vicFlagged
+		}
+		// Dynamic overlay: flag vicinities containing nodes this replay has
+		// marked (solved members and their gated terminals, from any earlier
+		// round). A newly flagged vicinity's unfollowed changes are marked in
+		// turn, growing the list as it is scanned — the within-round flag
+		// fixpoint for free.
+		if vicStamp != nil {
+			for i := 0; i < len(s.dynList); i++ {
+				u := s.dynList[i]
+				if vicStamp[u] != ix.epoch {
+					continue
+				}
+				if vi := vicOf[u]; vicState[vi]&vicFlagged == 0 {
+					vicState[vi] |= vicFlagged
+					for _, ch := range trajRound[vi].Changes {
+						s.markDiverged(ch.Node)
+					}
+				}
+			}
+		}
+		genA := s.dynGen // divergence set as of the adoption decisions
+		if vicStamp != nil {
+			s.rvVicOf, s.rvVicStamp, s.rvEpoch, s.rvState = vicOf, vicStamp, ix.epoch, vicState
+		} else {
+			s.rvVicOf, s.rvVicStamp, s.rvState = nil, nil, nil
+		}
+
+		for _, seed := range s.pend {
+			if c.IsInputLike(seed) || s.stamp[seed] == s.epoch {
+				continue // forced by the fault, or solved this round
+			}
+			if vicStamp != nil && vicStamp[seed] == ix.epoch {
+				vi := vicOf[seed]
+				st := vicState[vi]
+				if st&vicServiced != 0 {
+					continue // adopted earlier this round
+				}
+				if st&vicFlagged == 0 {
+					vt := &trajRound[vi]
+					// An unflagged vicinity had no diverged member at the
+					// adoption decisions; if no mark was added since (no
+					// solve ran), that still holds without rescanning.
+					adoptable := s.dynGen == genA
+					if !adoptable {
+						adoptable = true
+						for _, u := range vt.Members {
+							adopted++
+							if s.dynStamp[u] == s.dynEpoch {
+								adoptable = false
+								break
+							}
+						}
+					}
+					if adoptable {
+						s.work.AdoptedVics++
+						vicState[vi] |= vicServiced
+						for _, ch := range vt.Changes {
+							u := ch.Node
+							nv := ch.Value
+							if xmode {
+								nv = logic.Lub(c.val[u], nv)
+							}
+							adopted++
+							if nv == c.val[u] {
+								continue
+							}
+							c.val[u] = nv
+							s.noteChanged(u)
+							s.propagate(c, u)
+						}
+						continue
+					}
+				}
+			}
+			// Solve with full switch-level dynamics.
+			if !s.exploreVicinity(c, seed) {
+				continue
+			}
+			for _, u := range s.vic {
+				if s.exploredStamp[u] != s.exploredEpoch {
+					s.exploredStamp[u] = s.exploredEpoch
+					s.explored = append(s.explored, u)
+				}
+				s.markDiverged(u)
+			}
+			newVal := s.vicNewVal()
+			s.solveVicinity(c, newVal)
+			for i, u := range s.vic {
+				nv := newVal[i]
+				if xmode {
+					nv = logic.Lub(c.val[u], nv)
+				}
+				if nv == c.val[u] {
+					continue
+				}
+				c.val[u] = nv
+				s.noteChanged(u)
+				s.propagate(c, u)
+			}
+		}
+
+		s.pend, s.next = s.next, s.pend
+	}
+	s.rvVicOf, s.rvVicStamp, s.rvState = nil, nil, nil
+
+	s.work.AdoptedChanges += adopted
+	res.Changed = s.changed
+	res.Explored = s.explored
+	return res
+}
+
 // BeginReplay opens a new replay divergence epoch: the caller seeds the
 // statically diverged nodes (divergence records with their gated channel
 // terminals, fault sites, fault-forced nodes) via SeedDiverged, then runs
@@ -243,6 +450,7 @@ func (s *Solver) SettleReplay(c *Circuit, seeds []netlist.NodeID, traj *Trajecto
 // circuit's divergence instead of the trajectory size.
 func (s *Solver) BeginReplay() {
 	s.dynEpoch++
+	s.dynList = s.dynList[:0]
 }
 
 // SeedDiverged marks node n as statically diverged from the good circuit

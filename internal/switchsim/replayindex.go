@@ -1,0 +1,229 @@
+// Word-packed trajectory indexing for lane-grouped fault replays.
+//
+// SettleReplay's Pass A — indexing each trajectory round's vicinities by
+// member node and computing adoption-blocking flags from the circuit's
+// static divergence set — costs O(trajectory) per faulty circuit, and a
+// batch pays it once per activated circuit per setting. The profile says
+// that indexing, not solving, dominates a converged campaign: most
+// activated circuits adopt every vicinity and change nothing.
+//
+// A ReplayIndex hoists that pass out of the per-circuit loop and pays it
+// once per setting for up to 64×words fault circuits at a time. Faults are
+// packed into lanes (one bit position of a lane word); the caller supplies
+// its static divergence sets as word-packed per-node rows (bit set in
+// div[n*words+w] ⟺ lane (w, bit) is statically diverged at n — the
+// batch engine's interest mask). Build computes, per trajectory vicinity,
+// the word-packed set of lanes for which the vicinity is statically
+// flagged, by running the same flag-then-mark-changes fixpoint as the
+// scalar Pass A — but over all lanes at once with bitwise ORs, and with
+// the marks of flagged vicinities (change sites and their gated channel
+// terminals) carried forward across rounds in a lane-packed overlay. The
+// closure is a least fixpoint of monotone bitwise operations, so each
+// lane's column of the result is exactly the flag set the scalar Pass A
+// would compute for that lane alone: results are bit-identical for every
+// lane width and packing.
+//
+// SettleReplayIndexed then replays one lane against the prebuilt index:
+// static flags come from one bit probe per vicinity, and only the lane's
+// own dynamic divergence (members of vicinities it solves, and their gated
+// terminals) is rescanned per round — cost ∝ the lane's divergence, with
+// the trajectory-sized work shared across the whole word group.
+package switchsim
+
+import (
+	"fmossim/internal/netlist"
+)
+
+// Per-vicinity state bits of one indexed-replay round.
+const (
+	// vicFlagged blocks adoption: some member is (statically or
+	// dynamically) diverged for this lane.
+	vicFlagged uint8 = 1 << iota
+	// vicServiced marks the vicinity as already adopted this round; its
+	// members are excluded from later explorations of the same round.
+	vicServiced
+)
+
+// ReplayIndex is the per-setting shared index over one good-circuit
+// trajectory: the member→vicinity maps of every round plus word-packed
+// static adoption flags per (round, vicinity, lane word). One index serves
+// every lane of a fault batch for one setting; Build is called once per
+// setting, SettleReplayIndexed once per activated lane. A ReplayIndex is
+// not safe for concurrent Build, but concurrent reads (replays on worker
+// solvers) are safe once built.
+type ReplayIndex struct {
+	tab *Tables
+
+	// epoch versions the stamp arrays so Build never clears them.
+	epoch uint32
+	// words is the lane-word count of the current build; traj/rounds the
+	// indexed trajectory.
+	words  int
+	traj   *Trajectory
+	rounds int
+
+	// Per-round member→vicinity maps: vicOf[r][n] is valid when
+	// vicStamp[r][n] == epoch.
+	vicOf    [][]int32
+	vicStamp [][]uint32
+	// flags[r][w*len(round)+vi] is the word of lanes for which vicinity
+	// vi of round r is statically flagged (must be solved, not adopted).
+	// The layout is word-major: one lane's per-vicinity probe loop in
+	// SettleReplayIndexed — the hot reader, run once per activated
+	// circuit per round — walks its word's flags contiguously.
+	flags [][]uint64
+
+	// Static-divergence overlay accumulated by the closure: lanes marked
+	// diverged at a node by earlier (or same-round) flagged vicinities,
+	// beyond the caller's div rows. Row n is valid when extraStamp[n]
+	// matches epoch.
+	extra      []uint64
+	extraStamp []uint32
+
+	// Build scratch: per-word member OR and newly-flagged masks.
+	orBuf, newBuf []uint64
+}
+
+// NewReplayIndex returns an empty index over tab's network.
+func NewReplayIndex(tab *Tables) *ReplayIndex {
+	n := tab.Net.NumNodes()
+	return &ReplayIndex{
+		tab:        tab,
+		extraStamp: make([]uint32, n),
+	}
+}
+
+// Build indexes traj for a lane group of the given word count. div holds
+// the callers' static divergence sets as word-packed per-node rows of
+// stride words (div[n*words : (n+1)*words]); it is read during Build only.
+// divNZ, when non-nil, is a per-node count of nonzero words in the row
+// (any summary where divNZ[n] == 0 implies an all-zero row is accepted):
+// divergence rows are overwhelmingly zero, and the summary lets Build skip
+// them with one load per member instead of a words-long OR.
+//
+// The static flag closure mirrors the scalar Pass A exactly, lane-wise:
+// a vicinity is flagged for every lane with a diverged member, a flagged
+// vicinity's unfollowed changes mark their nodes and the channel terminals
+// of transistors they gate as diverged for those lanes, marks poison
+// downstream vicinities of the same round (repeat until stable) and
+// persist into all later rounds.
+func (ix *ReplayIndex) Build(traj *Trajectory, words int, div []uint64, divNZ []int32) {
+	ix.epoch++
+	ix.words = words
+	ix.traj = traj
+	ix.rounds = traj.NumRounds()
+	n := ix.tab.Net.NumNodes()
+
+	for len(ix.vicOf) < ix.rounds {
+		ix.vicOf = append(ix.vicOf, make([]int32, n))
+		ix.vicStamp = append(ix.vicStamp, make([]uint32, n))
+		ix.flags = append(ix.flags, nil)
+	}
+	if len(ix.extra) < n*words {
+		ix.extra = make([]uint64, n*words)
+		// Rows are epoch-guarded; a fresh array needs no clearing, but the
+		// stamps must not accidentally match a stale epoch row layout.
+		for i := range ix.extraStamp {
+			ix.extraStamp[i] = 0
+		}
+	}
+	if len(ix.orBuf) < words {
+		ix.orBuf = make([]uint64, words)
+		ix.newBuf = make([]uint64, words)
+	}
+	orBuf, newBuf := ix.orBuf[:words], ix.newBuf[:words]
+
+	for r := 0; r < ix.rounds; r++ {
+		round := traj.Round(r)
+		vicOf, vicStamp := ix.vicOf[r], ix.vicStamp[r]
+		need := len(round) * words
+		if cap(ix.flags[r]) < need {
+			ix.flags[r] = make([]uint64, need+need/2)
+		}
+		flags := ix.flags[r][:need]
+		for i := range flags {
+			flags[i] = 0
+		}
+		for vi := range round {
+			for _, u := range round[vi].Members {
+				vicOf[u] = int32(vi)
+				vicStamp[u] = ix.epoch
+			}
+		}
+		// Flag closure: the first sweep both computes initial flags and,
+		// by marking as it goes, lets later vicinities of the round see
+		// earlier marks; further sweeps run only until no new lane flags
+		// appear (the scalar Pass A's within-round fixpoint).
+		for again := true; again; {
+			again = false
+			for vi := range round {
+				vt := &round[vi]
+				for w := range orBuf {
+					orBuf[w] = 0
+				}
+				for _, u := range vt.Members {
+					hasDiv := divNZ == nil || divNZ[u] != 0
+					hasExtra := ix.extraStamp[u] == ix.epoch
+					if !hasDiv && !hasExtra {
+						continue
+					}
+					if hasDiv {
+						row := div[int(u)*words:]
+						for w := range orBuf {
+							orBuf[w] |= row[w]
+						}
+					}
+					if hasExtra {
+						er := ix.extra[int(u)*words:]
+						for w := range orBuf {
+							orBuf[w] |= er[w]
+						}
+					}
+				}
+				anyNew := false
+				for w := range orBuf {
+					fw := &flags[w*len(round)+vi]
+					newBuf[w] = orBuf[w] &^ *fw
+					if newBuf[w] != 0 {
+						*fw |= newBuf[w]
+						anyNew = true
+					}
+				}
+				if !anyNew {
+					continue
+				}
+				again = true
+				// Newly flagged lanes will not follow this vicinity's
+				// changes: mark the change sites, and the channel terminals
+				// of the transistors they gate, diverged for those lanes.
+				for _, ch := range vt.Changes {
+					ix.markLanes(ch.Node, newBuf)
+					for _, e := range ix.tab.GatedByOf(ch.Node) {
+						ix.markLanes(e.Src, newBuf)
+						ix.markLanes(e.Drn, newBuf)
+					}
+				}
+			}
+		}
+	}
+}
+
+// markLanes ORs the lane mask into node u's overlay row.
+func (ix *ReplayIndex) markLanes(u netlist.NodeID, m []uint64) {
+	row := ix.extra[int(u)*ix.words:]
+	if ix.extraStamp[u] != ix.epoch {
+		ix.extraStamp[u] = ix.epoch
+		copy(row[:len(m)], m)
+		return
+	}
+	for w := range m {
+		row[w] |= m[w]
+	}
+}
+
+// Flagged reports whether vicinity vi of round r is statically flagged for
+// lane (word, bit). Exported for tests.
+func (ix *ReplayIndex) Flagged(r, vi, word int, bit uint) bool {
+	nvic := len(ix.traj.Round(r))
+	return ix.flags[r][word*nvic+vi]>>bit&1 != 0
+}

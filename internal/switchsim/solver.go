@@ -55,10 +55,14 @@ type Solver struct {
 	// seeded by the caller (BeginReplay/SeedDiverged), nodes the replay
 	// has solved, and channel terminals of transistors they gate (see
 	// SettleReplay). dynGen counts distinct marks, letting the replay
-	// prove "no divergence added since" without rescanning.
+	// prove "no divergence added since" without rescanning. dynList keeps
+	// the marked nodes in mark order; the indexed replay rescans it
+	// against each round's member→vicinity map (cost ∝ divergence, not
+	// trajectory size).
 	dynStamp []uint32
 	dynEpoch uint32
 	dynGen   uint64
+	dynList  []netlist.NodeID
 
 	// Per-round trajectory index: nodeVic[n] is the index of the
 	// trajectory vicinity containing n this round (valid when
@@ -68,8 +72,28 @@ type Solver struct {
 	nodeVicStamp []uint32
 	vicAdopted   []bool
 
+	// Indexed-replay round context (SettleReplayIndexed): the current
+	// round's member→vicinity map from the prebuilt ReplayIndex and the
+	// per-vicinity flagged/serviced state. While rvState is non-nil,
+	// exploreVicinity treats members of serviced (adopted) vicinities as
+	// outside the exploration frontier: the good circuit kept them in a
+	// separate vicinity this round, and any divergence that would bridge
+	// into them is marked and re-solved next round.
+	rvVicOf    []int32
+	rvVicStamp []uint32
+	rvEpoch    uint32
+	rvState    []uint8
+	vicState   []uint8
+
 	vic   []netlist.NodeID // current vicinity member list
 	queue []netlist.NodeID // BFS queue
+
+	// Worklist-relaxation scratch for solveVicinity: the FIFO of nodes
+	// pending (re)computation and its membership stamp. relaxEpoch is
+	// bumped once per relaxation phase.
+	relaxStamp []uint32
+	relaxEpoch uint32
+	rq         []netlist.NodeID
 
 	// Reusable settle-loop storage: the current and next rounds' pending
 	// seeds, the per-vicinity new-value buffer, and the ApplySetting seed
@@ -98,6 +122,7 @@ func NewSolver(tab *Tables) *Solver {
 		dynStamp:      make([]uint32, n),
 		nodeVic:       make([]int32, n),
 		nodeVicStamp:  make([]uint32, n),
+		relaxStamp:    make([]uint32, n),
 	}
 }
 
@@ -106,6 +131,7 @@ func (s *Solver) markDyn(n netlist.NodeID) {
 	if s.dynStamp[n] != s.dynEpoch {
 		s.dynStamp[n] = s.dynEpoch
 		s.dynGen++
+		s.dynList = append(s.dynList, n)
 	}
 }
 
@@ -126,16 +152,20 @@ func (s *Solver) exploreVicinity(c *Circuit, seed netlist.NodeID) bool {
 	if c.IsInputLike(seed) || s.stamp[seed] == s.epoch {
 		return false
 	}
+	if s.rvState != nil && s.servicedThisRound(seed) {
+		return false
+	}
 	s.vic = s.vic[:0]
 	s.queue = s.queue[:0]
 	s.stamp[seed] = s.epoch
 	s.queue = append(s.queue, seed)
+	dynamic := !s.StaticLocality
 	for len(s.queue) > 0 {
 		u := s.queue[len(s.queue)-1]
 		s.queue = s.queue[:len(s.queue)-1]
 		s.vic = append(s.vic, u)
 		for _, e := range s.tab.ChannelOf(u) {
-			if !s.StaticLocality && c.ts[e.T] == logic.Lo {
+			if dynamic && c.ts[e.T] == logic.Lo {
 				continue // the source and drain of an open transistor are electrically isolated
 			}
 			v := e.Other
@@ -143,12 +173,22 @@ func (s *Solver) exploreVicinity(c *Circuit, seed netlist.NodeID) bool {
 				continue // vicinities do not extend through input nodes
 			}
 			if s.stamp[v] != s.epoch {
+				if s.rvState != nil && s.servicedThisRound(v) {
+					continue // adopted as part of a good-trajectory vicinity
+				}
 				s.stamp[v] = s.epoch
 				s.queue = append(s.queue, v)
 			}
 		}
 	}
 	return true
+}
+
+// servicedThisRound reports whether n belongs to a trajectory vicinity of
+// the current indexed-replay round that has already been adopted. Valid
+// only while rvState is set (inside SettleReplayIndexed rounds).
+func (s *Solver) servicedThisRound(n netlist.NodeID) bool {
+	return s.rvVicStamp[n] == s.rvEpoch && s.rvState[s.rvVicOf[n]]&vicServiced != 0
 }
 
 // solveVicinity computes the steady-state response of the current vicinity
@@ -169,42 +209,67 @@ func (s *Solver) solveVicinity(c *Circuit, newVal []logic.Value) {
 	vic := s.vic
 	s.work.Vicinities++
 	s.work.NodesSolved += int64(len(vic))
+	if len(vic) == 1 {
+		s.solveVicinity1(c, vic[0], newVal)
+		return
+	}
 
 	relax := int64(0)
 
 	// Phase 1: def relaxation (monotone max over the finite strength
-	// lattice; iterate to fixpoint).
+	// lattice). Worklist to the least fixpoint: every node is computed
+	// once, and recomputed only when a channel neighbor's def improved —
+	// the fixpoint is unique (monotone operator from a bottom init), so
+	// the values match a sweep-to-stability loop exactly, without its
+	// full confirming passes. FIFO order is deterministic, so the relax
+	// counters are too.
 	for _, u := range vic {
 		s.def[u] = s.tab.Charge[u] // the node's own charge is always definitely present
 	}
-	for changed := true; changed; {
-		changed = false
-		for _, u := range vic {
-			relax++
-			best := s.def[u]
+	s.relaxEpoch++
+	rq := s.rq[:0]
+	for _, u := range vic {
+		s.relaxStamp[u] = s.relaxEpoch
+		rq = append(rq, u)
+	}
+	for head := 0; head < len(rq); head++ {
+		u := rq[head]
+		s.relaxStamp[u] = s.relaxEpoch - 1
+		relax++
+		best := s.def[u]
+		for _, e := range s.tab.ChannelOf(u) {
+			if c.ts[e.T] != logic.Hi {
+				continue // only definitely-conducting paths carry definite signals
+			}
+			v := e.Other
+			var sv logic.Strength
+			if c.IsInputLike(v) {
+				sv = s.tab.Charge[v] // ω
+			} else if s.inVicinity(v) {
+				sv = s.def[v]
+			} else {
+				continue
+			}
+			if a := logic.Attenuate(sv, e.Drive); a > best {
+				best = a
+			}
+		}
+		if best > s.def[u] {
+			s.def[u] = best
+			// def flows through definitely-conducting edges only:
+			// requeue the in-vicinity neighbors that read def[u].
 			for _, e := range s.tab.ChannelOf(u) {
 				if c.ts[e.T] != logic.Hi {
-					continue // only definitely-conducting paths carry definite signals
-				}
-				v := e.Other
-				var sv logic.Strength
-				if c.IsInputLike(v) {
-					sv = s.tab.Charge[v] // ω
-				} else if s.inVicinity(v) {
-					sv = s.def[v]
-				} else {
 					continue
 				}
-				if a := logic.Attenuate(sv, e.Drive); a > best {
-					best = a
+				if v := e.Other; s.inVicinity(v) && s.relaxStamp[v] != s.relaxEpoch {
+					s.relaxStamp[v] = s.relaxEpoch
+					rq = append(rq, v)
 				}
-			}
-			if best > s.def[u] {
-				s.def[u] = best
-				changed = true
 			}
 		}
 	}
+	s.rq = rq[:0]
 
 	// Phase 2: value-carrying strengths, blocked at every node by signals
 	// weaker than def there. Roots contribute only if unblocked.
@@ -223,58 +288,74 @@ func (s *Solver) solveVicinity(c *Circuit, newVal []logic.Value) {
 			s.hp[u], s.lp[u] = ch, ch
 		}
 	}
-	for changed := true; changed; {
-		changed = false
-		for _, u := range vic {
-			relax++
-			blk := s.def[u]
-			bhd, bld, bhp, blp := s.hd[u], s.ld[u], s.hp[u], s.lp[u]
-			for _, e := range s.tab.ChannelOf(u) {
-				st := c.ts[e.T]
-				if st == logic.Lo {
-					continue
+	// Same worklist scheme as phase 1; value-carrying signals flow
+	// through transistors in state 1 or X.
+	s.relaxEpoch++
+	rq = rq[:0]
+	for _, u := range vic {
+		s.relaxStamp[u] = s.relaxEpoch
+		rq = append(rq, u)
+	}
+	for head := 0; head < len(rq); head++ {
+		u := rq[head]
+		s.relaxStamp[u] = s.relaxEpoch - 1
+		relax++
+		blk := s.def[u]
+		bhd, bld, bhp, blp := s.hd[u], s.ld[u], s.hp[u], s.lp[u]
+		for _, e := range s.tab.ChannelOf(u) {
+			st := c.ts[e.T]
+			if st == logic.Lo {
+				continue
+			}
+			v := e.Other
+			g := e.Drive
+			var vhd, vld, vhp, vlp logic.Strength
+			if c.IsInputLike(v) {
+				w := s.tab.Charge[v] // ω
+				switch c.val[v] {
+				case logic.Hi:
+					vhd, vhp = w, w
+				case logic.Lo:
+					vld, vlp = w, w
+				case logic.X:
+					vhp, vlp = w, w
 				}
-				v := e.Other
-				g := e.Drive
-				var vhd, vld, vhp, vlp logic.Strength
-				if c.IsInputLike(v) {
-					w := s.tab.Charge[v] // ω
-					switch c.val[v] {
-					case logic.Hi:
-						vhd, vhp = w, w
-					case logic.Lo:
-						vld, vlp = w, w
-					case logic.X:
-						vhp, vlp = w, w
-					}
-				} else if s.inVicinity(v) {
-					vhd, vld, vhp, vlp = s.hd[v], s.ld[v], s.hp[v], s.lp[v]
-				} else {
-					continue
+			} else if s.inVicinity(v) {
+				vhd, vld, vhp, vlp = s.hd[v], s.ld[v], s.hp[v], s.lp[v]
+			} else {
+				continue
+			}
+			if st == logic.Hi {
+				// Definitely conducting: definite signals stay definite.
+				if a := logic.Attenuate(vhd, g); a >= blk && a > bhd {
+					bhd = a
 				}
-				if st == logic.Hi {
-					// Definitely conducting: definite signals stay definite.
-					if a := logic.Attenuate(vhd, g); a >= blk && a > bhd {
-						bhd = a
-					}
-					if a := logic.Attenuate(vld, g); a >= blk && a > bld {
-						bld = a
-					}
-				}
-				// Possibly conducting (1 or X): possible signals flow.
-				if a := logic.Attenuate(vhp, g); a >= blk && a > bhp {
-					bhp = a
-				}
-				if a := logic.Attenuate(vlp, g); a >= blk && a > blp {
-					blp = a
+				if a := logic.Attenuate(vld, g); a >= blk && a > bld {
+					bld = a
 				}
 			}
-			if bhd > s.hd[u] || bld > s.ld[u] || bhp > s.hp[u] || blp > s.lp[u] {
-				s.hd[u], s.ld[u], s.hp[u], s.lp[u] = bhd, bld, bhp, blp
-				changed = true
+			// Possibly conducting (1 or X): possible signals flow.
+			if a := logic.Attenuate(vhp, g); a >= blk && a > bhp {
+				bhp = a
+			}
+			if a := logic.Attenuate(vlp, g); a >= blk && a > blp {
+				blp = a
+			}
+		}
+		if bhd > s.hd[u] || bld > s.ld[u] || bhp > s.hp[u] || blp > s.lp[u] {
+			s.hd[u], s.ld[u], s.hp[u], s.lp[u] = bhd, bld, bhp, blp
+			for _, e := range s.tab.ChannelOf(u) {
+				if c.ts[e.T] == logic.Lo {
+					continue
+				}
+				if v := e.Other; s.inVicinity(v) && s.relaxStamp[v] != s.relaxEpoch {
+					s.relaxStamp[v] = s.relaxEpoch
+					rq = append(rq, v)
+				}
 			}
 		}
 	}
+	s.rq = rq[:0]
 
 	s.work.RelaxSteps += relax
 
@@ -288,5 +369,103 @@ func (s *Solver) solveVicinity(c *Circuit, newVal []logic.Value) {
 		default:
 			newVal[i] = logic.X
 		}
+	}
+}
+
+// solveVicinity1 is the single-node specialization of solveVicinity: over
+// half of all vicinity solves in the RAM workloads are one storage node
+// against its input-like neighborhood (a pass gate into a cell, a
+// precharged line), where both relaxation fixpoints converge in a single
+// improving pass. The computed value AND the work counters are exactly
+// those the general loop produces on the same vicinity — an in-vicinity
+// channel neighbor can only be the node itself, whose attenuated
+// contribution never exceeds the running best — so the fast path changes
+// constant factors only.
+func (s *Solver) solveVicinity1(c *Circuit, u netlist.NodeID, newVal []logic.Value) {
+	edges := s.tab.ChannelOf(u)
+
+	// Phase 1: one pass computes the def fixpoint; a second (counted)
+	// pass would only confirm it.
+	relax := int64(1)
+	def := s.tab.Charge[u]
+	best := def
+	for _, e := range edges {
+		if c.ts[e.T] != logic.Hi {
+			continue
+		}
+		if v := e.Other; c.IsInputLike(v) {
+			if a := logic.Attenuate(s.tab.Charge[v], e.Drive); a > best {
+				best = a
+			}
+		}
+	}
+	if best > def {
+		relax++ // the general loop's confirming pass
+	}
+	s.def[u] = best
+
+	// Phase 2: roots, then one pass over the edges; again a second pass
+	// could only confirm.
+	var hd, ld, hp, lp logic.Strength
+	if ch := s.tab.Charge[u]; ch >= best {
+		switch c.val[u] {
+		case logic.Hi:
+			hd, hp = ch, ch
+		case logic.Lo:
+			ld, lp = ch, ch
+		case logic.X:
+			hp, lp = ch, ch
+		}
+	}
+	relax++
+	bhd, bld, bhp, blp := hd, ld, hp, lp
+	for _, e := range edges {
+		st := c.ts[e.T]
+		if st == logic.Lo {
+			continue
+		}
+		v := e.Other
+		if !c.IsInputLike(v) {
+			continue
+		}
+		w := s.tab.Charge[v]
+		var vhd, vld, vhp, vlp logic.Strength
+		switch c.val[v] {
+		case logic.Hi:
+			vhd, vhp = w, w
+		case logic.Lo:
+			vld, vlp = w, w
+		case logic.X:
+			vhp, vlp = w, w
+		}
+		g := e.Drive
+		if st == logic.Hi {
+			if a := logic.Attenuate(vhd, g); a >= best && a > bhd {
+				bhd = a
+			}
+			if a := logic.Attenuate(vld, g); a >= best && a > bld {
+				bld = a
+			}
+		}
+		if a := logic.Attenuate(vhp, g); a >= best && a > bhp {
+			bhp = a
+		}
+		if a := logic.Attenuate(vlp, g); a >= best && a > blp {
+			blp = a
+		}
+	}
+	if bhd > hd || bld > ld || bhp > hp || blp > lp {
+		relax++
+	}
+	s.hd[u], s.ld[u], s.hp[u], s.lp[u] = bhd, bld, bhp, blp
+	s.work.RelaxSteps += relax
+
+	switch {
+	case bhd > blp:
+		newVal[0] = logic.Hi
+	case bld > bhp:
+		newVal[0] = logic.Lo
+	default:
+		newVal[0] = logic.X
 	}
 }

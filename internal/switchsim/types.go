@@ -130,6 +130,11 @@ type Work struct {
 	// AdoptedChanges counts good-trajectory changes adopted by faulty
 	// replays instead of being re-solved (see Solver.SettleReplay).
 	AdoptedChanges int64
+	// AdoptedVics counts trajectory vicinities adopted whole by faulty
+	// replays. A pure occupancy statistic: it is excluded from Units (the
+	// adoption cost is already in AdoptedChanges) and exists so batch
+	// stats can report the adopted/solved split per setting.
+	AdoptedVics int64
 }
 
 // Add accumulates w2 into w.
@@ -140,6 +145,7 @@ func (w *Work) Add(w2 Work) {
 	w.NodesSolved += w2.NodesSolved
 	w.RelaxSteps += w2.RelaxSteps
 	w.AdoptedChanges += w2.AdoptedChanges
+	w.AdoptedVics += w2.AdoptedVics
 }
 
 // Sub returns w - w2.
@@ -151,6 +157,7 @@ func (w Work) Sub(w2 Work) Work {
 		NodesSolved:    w.NodesSolved - w2.NodesSolved,
 		RelaxSteps:     w.RelaxSteps - w2.RelaxSteps,
 		AdoptedChanges: w.AdoptedChanges - w2.AdoptedChanges,
+		AdoptedVics:    w.AdoptedVics - w2.AdoptedVics,
 	}
 }
 
