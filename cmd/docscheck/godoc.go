@@ -30,6 +30,12 @@ func checkGoDocs(root string) ([]string, int) {
 			if err != nil || !d.IsDir() {
 				return nil
 			}
+			if d.Name() == "testdata" {
+				// Fixture packages (e.g. the analysistest trees under
+				// internal/analysis) are invisible to the go tool and
+				// exempt from the doc.go convention.
+				return filepath.SkipDir
+			}
 			if hasGoFiles(path) {
 				dirs = append(dirs, path)
 			}

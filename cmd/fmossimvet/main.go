@@ -1,0 +1,93 @@
+// The fmossimvet multichecker entry point; the command is documented in
+// doc.go.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"fmossim/internal/analysis"
+)
+
+func main() {
+	var (
+		jsonOut = flag.Bool("json", false, "emit diagnostics as a JSON array on stdout (for benchtab-style tooling)")
+		list    = flag.Bool("list", false, "list the analyzers and exit")
+		dir     = flag.String("C", ".", "module directory to analyze in")
+	)
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(),
+			"usage: fmossimvet [-json] [-C dir] packages...\n\nChecks the fmossim determinism contract; exits 1 on any diagnostic.\n\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	analyzers := analysis.All()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-12s %s\n", a.Name, strings.SplitN(a.Doc, "\n", 2)[0])
+		}
+		return
+	}
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	pkgs, err := analysis.Load(*dir, patterns...)
+	if err != nil {
+		fatal(err)
+	}
+	diags, err := analysis.RunAnalyzers(pkgs, analyzers)
+	if err != nil {
+		fatal(err)
+	}
+	relativize(diags, *dir)
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if diags == nil {
+			diags = []analysis.Diagnostic{}
+		}
+		if err := enc.Encode(diags); err != nil {
+			fatal(err)
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Println(d)
+		}
+	}
+	if len(diags) > 0 {
+		if !*jsonOut {
+			fmt.Fprintf(os.Stderr, "fmossimvet: %d diagnostic(s) in %d package(s) checked\n", len(diags), len(pkgs))
+		}
+		os.Exit(1)
+	}
+	if !*jsonOut {
+		fmt.Printf("fmossimvet: %d package(s) clean\n", len(pkgs))
+	}
+}
+
+// relativize rewrites absolute file positions relative to dir when
+// possible, keeping output stable across checkouts.
+func relativize(diags []analysis.Diagnostic, dir string) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return
+	}
+	for i := range diags {
+		if rel, err := filepath.Rel(abs, diags[i].File); err == nil && !strings.HasPrefix(rel, "..") {
+			diags[i].File = rel
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "fmossimvet:", err)
+	os.Exit(2)
+}

@@ -1,0 +1,157 @@
+// The fixture runner: loading, want-comment parsing and diagnostic
+// matching. Package documentation lives in doc.go.
+package analysistest
+
+import (
+	"fmt"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"fmossim/internal/analysis"
+)
+
+// Run loads each fixture package pattern from testdata/src/<pattern>,
+// runs the analyzers (plus the annotation facility, which the driver
+// always applies) and reports every mismatch between diagnostics and
+// want expectations through t.
+func Run(t *testing.T, testdata string, analyzers []*analysis.Analyzer, patterns ...string) {
+	t.Helper()
+	modRoot, err := findModuleRoot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pattern := range patterns {
+		dir := filepath.Join(testdata, "src", filepath.FromSlash(pattern))
+		pkg, err := analysis.LoadFixture(modRoot, pattern, dir)
+		if err != nil {
+			t.Errorf("%s: %v", pattern, err)
+			continue
+		}
+		diags, err := analysis.RunAnalyzers([]*analysis.Package{pkg}, analyzers)
+		if err != nil {
+			t.Errorf("%s: %v", pattern, err)
+			continue
+		}
+		checkWants(t, pattern, dir, diags)
+	}
+}
+
+// findModuleRoot walks up from the working directory to the enclosing
+// go.mod.
+func findModuleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("analysistest: no go.mod above working directory")
+		}
+		dir = parent
+	}
+}
+
+// want is one expectation: a compiled pattern at a file line.
+type want struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	raw  string
+	hit  bool
+}
+
+// wantRe extracts quoted expectation patterns after a `// want` marker.
+var wantRe = regexp.MustCompile("\"((?:[^\"\\\\]|\\\\.)*)\"|`([^`]*)`")
+
+// parseWants scans every fixture file for want comments.
+func parseWants(dir string) ([]*want, error) {
+	fset := token.NewFileSet()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var wants []*want
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		path := filepath.Join(dir, e.Name())
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				idx := strings.Index(c.Text, "// want ")
+				if idx < 0 {
+					continue
+				}
+				line := fset.Position(c.Pos()).Line
+				for _, m := range wantRe.FindAllStringSubmatch(c.Text[idx+len("// want "):], -1) {
+					pat := m[2] // backquoted form, taken verbatim
+					if m[1] != "" || pat == "" {
+						unq, err := strconv.Unquote(`"` + m[1] + `"`)
+						if err != nil {
+							return nil, fmt.Errorf("%s:%d: bad want pattern %q: %v", path, line, m[1], err)
+						}
+						pat = unq
+					}
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						return nil, fmt.Errorf("%s:%d: bad want regexp %q: %v", path, line, pat, err)
+					}
+					wants = append(wants, &want{file: path, line: line, re: re, raw: pat})
+				}
+			}
+		}
+	}
+	return wants, nil
+}
+
+// checkWants matches diagnostics against expectations as a per-line
+// multiset and reports both surplus diagnostics and unmatched wants.
+func checkWants(t *testing.T, pattern, dir string, diags []analysis.Diagnostic) {
+	t.Helper()
+	wants, err := parseWants(dir)
+	if err != nil {
+		t.Errorf("%s: %v", pattern, err)
+		return
+	}
+	for _, d := range diags {
+		matched := false
+		for _, w := range wants {
+			if !w.hit && sameFile(w.file, d.File) && w.line == d.Line && w.re.MatchString(d.Message) {
+				w.hit = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s: unexpected diagnostic: %s", pattern, d)
+		}
+	}
+	for _, w := range wants {
+		if !w.hit {
+			t.Errorf("%s: %s:%d: no diagnostic matching %q", pattern, w.file, w.line, w.raw)
+		}
+	}
+}
+
+// sameFile compares paths by base and cleaned form (the loader and the
+// want parser may render the same file with different prefixes).
+func sameFile(a, b string) bool {
+	if filepath.Clean(a) == filepath.Clean(b) {
+		return true
+	}
+	return filepath.Base(a) == filepath.Base(b)
+}

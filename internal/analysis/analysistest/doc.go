@@ -1,0 +1,20 @@
+// Package analysistest runs fmossimvet analyzers over fixture packages
+// under a testdata directory and checks their diagnostics against
+// `// want "regexp"` comments, in the style of
+// golang.org/x/tools/go/analysis/analysistest.
+//
+// Fixtures live at <testdata>/src/<import/path>/*.go and are type-checked
+// under that import path, so package-scoped analyzers (mapiter, walltime,
+// …) behave exactly as on the real tree; fixtures may import real module
+// packages (switchsim, core, …) and the standard library, both resolved
+// from compiler export data. A want comment may trail any line:
+//
+//	for k := range m { // want `range over map`
+//
+// Several expectations on one line are matched as a multiset: every
+// diagnostic must match an expectation on its line and every expectation
+// must be consumed, so both false positives and false negatives fail the
+// test. A want marker may also follow an annotation comment's reason on
+// the same line, which is how the facility's own diagnostics (missing
+// reason, unused annotation) are asserted.
+package analysistest

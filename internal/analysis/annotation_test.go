@@ -1,0 +1,17 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"fmossim/internal/analysis"
+	"fmossim/internal/analysis/analysistest"
+)
+
+// TestAnnotationFacility exercises the shared annotation machinery the
+// driver applies around every analyzer: reasoned annotations suppress,
+// bare markers are rejected without suppressing, and annotations whose
+// covered line no longer fires are reported as stale.
+func TestAnnotationFacility(t *testing.T) {
+	analysistest.Run(t, "testdata/annotation", []*analysis.Analyzer{analysis.Mapiter},
+		"fmossim/internal/campaign")
+}

@@ -1,0 +1,122 @@
+// The shared //fmossim:nondeterminism-ok annotation facility. An
+// annotation acknowledges one deliberate, documented exception to the
+// determinism contract and suppresses every analyzer diagnostic on the
+// line it covers. The facility is strict in both directions: an
+// annotation without a reason string never suppresses anything (it is
+// itself a diagnostic), and an annotation that suppresses nothing is
+// reported as unused so stale exceptions cannot outlive the code they
+// excused.
+package analysis
+
+import (
+	"fmt"
+	"strings"
+)
+
+// AnnotationMarker is the comment prefix that grants a one-line,
+// reason-carrying exemption from the fmossimvet suite.
+const AnnotationMarker = "//fmossim:nondeterminism-ok"
+
+// annotation is one parsed marker comment.
+type annotation struct {
+	file   string
+	line   int // the comment's own line
+	col    int
+	target int // the source line the annotation covers
+	reason string
+	used   bool
+}
+
+// wantMarker separates test expectations from annotation reasons when a
+// fixture line carries both (see analysistest); reasons stop before it.
+const wantMarker = "// want"
+
+// collectAnnotations parses every marker comment of the package. A
+// trailing annotation (code before it on the line) covers its own line; an
+// annotation on a line of its own covers the next line.
+func collectAnnotations(pkg *Package) []*annotation {
+	var anns []*annotation
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, AnnotationMarker) {
+					continue
+				}
+				rest := c.Text[len(AnnotationMarker):]
+				if rest != "" && !strings.HasPrefix(rest, " ") && !strings.HasPrefix(rest, "\t") {
+					continue // some other marker, e.g. //fmossim:nondeterminism-okay
+				}
+				if i := strings.Index(rest, wantMarker); i >= 0 {
+					rest = rest[:i]
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				ann := &annotation{
+					file:   pos.Filename,
+					line:   pos.Line,
+					col:    pos.Column,
+					target: pos.Line,
+					reason: strings.TrimSpace(rest),
+				}
+				if ownLine(pkg.Sources[pos.Filename], pos.Offset) {
+					ann.target = pos.Line + 1
+				}
+				anns = append(anns, ann)
+			}
+		}
+	}
+	return anns
+}
+
+// ownLine reports whether only whitespace precedes offset on its line.
+func ownLine(src []byte, offset int) bool {
+	for i := offset - 1; i >= 0 && src[i] != '\n'; i-- {
+		if src[i] != ' ' && src[i] != '\t' {
+			return false
+		}
+	}
+	return true
+}
+
+// filterSuppressed drops diagnostics covered by a reason-carrying
+// annotation, marking each annotation it consults as used.
+func filterSuppressed(diags []Diagnostic, anns []*annotation) []Diagnostic {
+	byLine := map[[2]interface{}]*annotation{}
+	for _, a := range anns {
+		if a.reason != "" {
+			byLine[[2]interface{}{a.file, a.target}] = a
+		}
+	}
+	kept := diags[:0]
+	for _, d := range diags {
+		if a, ok := byLine[[2]interface{}{d.File, d.Line}]; ok {
+			a.used = true
+			continue
+		}
+		kept = append(kept, d)
+	}
+	return kept
+}
+
+// annotationDiagnostics reports the facility's own findings: annotations
+// with no reason (rejected — they suppress nothing) and annotations whose
+// covered line triggered no analyzer (stale exceptions).
+func annotationDiagnostics(anns []*annotation) []Diagnostic {
+	var diags []Diagnostic
+	for _, a := range anns {
+		switch {
+		case a.reason == "":
+			diags = append(diags, Diagnostic{
+				Analyzer: "annotation",
+				File:     a.file, Line: a.line, Col: a.col,
+				Message: fmt.Sprintf("%s requires a reason string (the annotation suppresses nothing without one)", AnnotationMarker),
+			})
+		case !a.used:
+			diags = append(diags, Diagnostic{
+				Analyzer: "annotation",
+				File:     a.file, Line: a.line, Col: a.col,
+				Message: fmt.Sprintf("unused %s annotation: no analyzer diagnostic on the covered line (stale exception — delete it)", AnnotationMarker),
+			})
+		}
+	}
+	return diags
+}

@@ -1,0 +1,187 @@
+// The ctxsettle analyzer: cancellable replay loops must actually check
+// for cancellation. PR 3's service contract promises sub-second campaign
+// cancellation, which holds only because every per-setting loop in the
+// batch/replay path polls ctx.Err() (or hands control to the OnObserve
+// hook) between settings. A refactor that adds a settle/replay loop
+// without the check silently turns "cancel responds in <1s" into "cancel
+// responds when the shard finishes".
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// ctxsettlePackages are the batch/replay and campaign-execution packages
+// bound by the sub-second-cancel guarantee.
+var ctxsettlePackages = pkgSet{
+	"fmossim/internal/core":     true,
+	"fmossim/internal/campaign": true,
+	"fmossim/internal/distrib":  true,
+	"fmossim/internal/server":   true,
+}
+
+// settleCallNames are the per-setting workhorse calls: a loop driving any
+// of these is a per-setting loop in the sense of the contract.
+var settleCallNames = map[string]bool{
+	"Step":         true,
+	"RunBatch":     true,
+	"RunRecording": true,
+}
+
+// Ctxsettle requires every loop that drives per-setting work (Step /
+// RunBatch / RunRecording) inside a context-carrying function to check
+// ctx.Err() or invoke the OnObserve hook within the loop body.
+var Ctxsettle = &Analyzer{
+	Name: "ctxsettle",
+	Doc: "per-setting replay loops must poll cancellation\n\n" +
+		"In core, campaign, distrib and server, a loop calling Step, RunBatch\n" +
+		"or RunRecording inside a function that receives a context.Context\n" +
+		"must check ctx.Err() or call the OnObserve hook in its body — the\n" +
+		"sub-second-cancel guarantee of the campaign service plane.",
+	Run: runCtxsettle,
+}
+
+func runCtxsettle(pass *Pass) error {
+	if !ctxsettlePackages.has(pass.Pkg.Path()) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !hasContextParam(pass.TypesInfo, fd) {
+				continue
+			}
+			checkSettleLoops(pass, fd.Body)
+		}
+	}
+	return nil
+}
+
+// hasContextParam reports whether the declaration takes a
+// context.Context parameter.
+func hasContextParam(info *types.Info, fd *ast.FuncDecl) bool {
+	if fd.Type.Params == nil {
+		return false
+	}
+	for _, field := range fd.Type.Params.List {
+		if isContextType(info.TypeOf(field.Type)) {
+			return true
+		}
+	}
+	return false
+}
+
+// isContextType reports whether t is context.Context.
+func isContextType(t types.Type) bool {
+	return t != nil && isNamed(t, "context", "Context")
+}
+
+// checkSettleLoops walks one function body (descending into nested
+// literals, each with its own loop nesting) and reports loops that drive
+// per-setting calls without a cancellation check.
+func checkSettleLoops(pass *Pass, body *ast.BlockStmt) {
+	// flagged collects, per innermost enclosing loop, whether it contains
+	// a per-setting call; loops are then vetted for the check.
+	type loopInfo struct {
+		node     ast.Node // *ast.ForStmt or *ast.RangeStmt
+		body     *ast.BlockStmt
+		drives   bool
+		callName string
+	}
+	var stack []*loopInfo
+	var loops []*loopInfo
+
+	var walk func(n ast.Node) bool
+	walk = func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			// A literal is its own loop-nesting scope: a call inside it
+			// executes when the closure runs, not at the enclosing loop's
+			// iteration site.
+			saved := stack
+			stack = nil
+			ast.Inspect(n.Body, walk)
+			stack = saved
+			return false
+		case *ast.ForStmt:
+			li := &loopInfo{node: n, body: n.Body}
+			loops = append(loops, li)
+			stack = append(stack, li)
+			if n.Init != nil {
+				ast.Inspect(n.Init, walk)
+			}
+			if n.Cond != nil {
+				ast.Inspect(n.Cond, walk)
+			}
+			if n.Post != nil {
+				ast.Inspect(n.Post, walk)
+			}
+			ast.Inspect(n.Body, walk)
+			stack = stack[:len(stack)-1]
+			return false
+		case *ast.RangeStmt:
+			li := &loopInfo{node: n, body: n.Body}
+			loops = append(loops, li)
+			stack = append(stack, li)
+			ast.Inspect(n.Body, walk)
+			stack = stack[:len(stack)-1]
+			return false
+		case *ast.CallExpr:
+			if name, ok := settleCallName(pass.TypesInfo, n); ok && len(stack) > 0 {
+				li := stack[len(stack)-1]
+				li.drives = true
+				li.callName = name
+			}
+		}
+		return true
+	}
+	ast.Inspect(body, walk)
+
+	for _, li := range loops {
+		if li.drives && !loopChecksCancellation(pass.TypesInfo, li.body) {
+			pass.Reportf(li.node.Pos(),
+				"per-setting loop calls %s without checking ctx.Err() or invoking the OnObserve hook; the sub-second-cancel guarantee needs a check between settings (or annotate with %s <reason>)",
+				li.callName, AnnotationMarker)
+		}
+	}
+}
+
+// settleCallName reports whether call invokes a per-setting workhorse,
+// returning its name.
+func settleCallName(info *types.Info, call *ast.CallExpr) (string, bool) {
+	obj := calleeObj(info, call)
+	if obj == nil {
+		return "", false
+	}
+	if settleCallNames[obj.Name()] {
+		return obj.Name(), true
+	}
+	return "", false
+}
+
+// loopChecksCancellation reports whether the loop body contains a
+// ctx.Err() call (on any context.Context-typed expression) or any use of
+// an OnObserve hook.
+func loopChecksCancellation(info *types.Info, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if sel, ok := ast.Unparen(n.Fun).(*ast.SelectorExpr); ok {
+				if sel.Sel.Name == "Err" && isContextType(info.TypeOf(sel.X)) {
+					found = true
+				}
+			}
+		case *ast.SelectorExpr:
+			if n.Sel.Name == "OnObserve" {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}

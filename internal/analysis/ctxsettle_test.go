@@ -1,0 +1,13 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"fmossim/internal/analysis"
+	"fmossim/internal/analysis/analysistest"
+)
+
+func TestCtxsettle(t *testing.T) {
+	analysistest.Run(t, "testdata/ctxsettle", []*analysis.Analyzer{analysis.Ctxsettle},
+		"fmossim/internal/core", "fmossim/internal/logic")
+}

@@ -1,0 +1,51 @@
+// The driver: run a set of analyzers over loaded packages, apply the
+// annotation facility, and return the surviving diagnostics in a
+// deterministic order. Both cmd/fmossimvet and the analysistest fixture
+// runner go through RunAnalyzers, so suppression and annotation hygiene
+// behave identically under test and in CI.
+package analysis
+
+import (
+	"sort"
+)
+
+// RunAnalyzers applies analyzers to every package and returns the
+// diagnostics that survive annotation suppression, plus the annotation
+// facility's own findings, sorted by file/line/column/analyzer.
+func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var all []Diagnostic
+	for _, pkg := range pkgs {
+		var diags []Diagnostic
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer:  a,
+				Fset:      pkg.Fset,
+				Files:     pkg.Files,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.Info,
+				report:    func(d Diagnostic) { diags = append(diags, d) },
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, err
+			}
+		}
+		anns := collectAnnotations(pkg)
+		diags = filterSuppressed(diags, anns)
+		diags = append(diags, annotationDiagnostics(anns)...)
+		all = append(all, diags...)
+	}
+	sort.Slice(all, func(i, j int) bool {
+		a, b := all[i], all[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return all, nil
+}

@@ -1,0 +1,75 @@
+// Fixture loading for the analysistest runner: a testdata directory is
+// type-checked as if it lived at a chosen import path, with its imports
+// (standard library and real module packages alike) resolved from
+// compiler export data obtained via `go list -export` in the module root.
+package analysis
+
+import (
+	"fmt"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// LoadFixture parses the .go files of dir and type-checks them under
+// import path pkgPath. moduleDir anchors dependency resolution (it must
+// be the module root, so fixture imports of module-internal packages
+// resolve).
+func LoadFixture(moduleDir, pkgPath, dir string) (*Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: fixture %s: %v", pkgPath, err)
+	}
+	var files []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			files = append(files, e.Name())
+		}
+	}
+	sort.Strings(files)
+	if len(files) == 0 {
+		return nil, fmt.Errorf("analysis: fixture %s: no .go files in %s", pkgPath, dir)
+	}
+
+	// Pre-scan imports so one `go list` resolves everything the fixture
+	// needs.
+	imports := map[string]bool{}
+	fset := token.NewFileSet()
+	for _, name := range files {
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ImportsOnly)
+		if err != nil {
+			return nil, fmt.Errorf("analysis: fixture %s: %v", pkgPath, err)
+		}
+		for _, imp := range f.Imports {
+			if p, err := strconv.Unquote(imp.Path.Value); err == nil && p != "unsafe" {
+				imports[p] = true
+			}
+		}
+	}
+	exports := map[string]string{}
+	if len(imports) > 0 {
+		var paths []string
+		for p := range imports {
+			paths = append(paths, p)
+		}
+		sort.Strings(paths)
+		listed, err := goList(moduleDir, paths)
+		if err != nil {
+			return nil, err
+		}
+		for _, p := range listed {
+			if p.Error != nil {
+				return nil, fmt.Errorf("analysis: fixture dependency %s: %s", p.ImportPath, p.Error.Err)
+			}
+			if p.Export != "" {
+				exports[p.ImportPath] = p.Export
+			}
+		}
+	}
+	fset = token.NewFileSet()
+	return typeCheckDir(fset, exportImporter(fset, exports), pkgPath, dir, files)
+}

@@ -1,0 +1,178 @@
+// Shared AST and type-resolution helpers used by several analyzers: map
+// detection, the collect-then-sort exemption, package scoping, and
+// named-type identification across the real tree and analysistest
+// fixtures.
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// pkgSet is a set of import paths an analyzer applies to (or is exempt
+// from).
+type pkgSet map[string]bool
+
+func (s pkgSet) has(path string) bool { return s[path] }
+
+// isMapType reports whether e's type is (or aliases) a map.
+func isMapType(info *types.Info, e ast.Expr) bool {
+	t := info.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Map)
+	return ok
+}
+
+// namedType returns the named type of t after stripping pointers and
+// aliases, or nil.
+func namedType(t types.Type) *types.Named {
+	if t == nil {
+		return nil
+	}
+	t = types.Unalias(t)
+	if p, ok := t.(*types.Pointer); ok {
+		t = types.Unalias(p.Elem())
+	}
+	n, _ := t.(*types.Named)
+	return n
+}
+
+// isNamed reports whether t (possibly behind a pointer) is the named type
+// pkgPath.name.
+func isNamed(t types.Type, pkgPath, name string) bool {
+	n := namedType(t)
+	if n == nil || n.Obj().Pkg() == nil {
+		return false
+	}
+	return n.Obj().Pkg().Path() == pkgPath && n.Obj().Name() == name
+}
+
+// calleeObj resolves a call's callee to its types.Object (function or
+// method), or nil.
+func calleeObj(info *types.Info, call *ast.CallExpr) types.Object {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return info.Uses[fun]
+	case *ast.SelectorExpr:
+		return info.Uses[fun.Sel]
+	}
+	return nil
+}
+
+// isPkgFunc reports whether obj is the package-level function
+// pkgPath.name.
+func isPkgFunc(obj types.Object, pkgPath, name string) bool {
+	f, ok := obj.(*types.Func)
+	if !ok || f.Pkg() == nil {
+		return false
+	}
+	return f.Pkg().Path() == pkgPath && f.Name() == name
+}
+
+// sortCalls are the callee spellings the collect-then-sort exemption
+// accepts: a slice passed (as first argument) to any of these after the
+// collecting range loop establishes a deterministic order.
+var sortCalls = map[string]map[string]bool{
+	"sort": {
+		"Strings": true, "Ints": true, "Float64s": true,
+		"Slice": true, "SliceStable": true, "Sort": true, "Stable": true,
+	},
+	"slices": {
+		"Sort": true, "SortFunc": true, "SortStableFunc": true,
+	},
+}
+
+// rangeCollectsSorted reports whether rs — a range over a map — merely
+// collects keys/values into local slices, each of which is sorted later
+// in scope (the canonical deterministic-iteration idiom:
+//
+//	for k := range m { keys = append(keys, k) }
+//	sort.Strings(keys)
+//
+// Any other statement in the loop body defeats the exemption, as does a
+// collected slice that is never sorted after the loop.
+func rangeCollectsSorted(info *types.Info, scope ast.Node, rs *ast.RangeStmt) bool {
+	var targets []types.Object
+	for _, stmt := range rs.Body.List {
+		as, ok := stmt.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+			return false
+		}
+		lhs, ok := ast.Unparen(as.Lhs[0]).(*ast.Ident)
+		if !ok {
+			return false
+		}
+		call, ok := ast.Unparen(as.Rhs[0]).(*ast.CallExpr)
+		if !ok {
+			return false
+		}
+		if id, ok := ast.Unparen(call.Fun).(*ast.Ident); !ok || id.Name != "append" || info.Uses[id] != types.Universe.Lookup("append") {
+			return false
+		}
+		obj := info.ObjectOf(lhs)
+		if obj == nil {
+			return false
+		}
+		targets = append(targets, obj)
+	}
+	if len(targets) == 0 {
+		return false
+	}
+	for _, obj := range targets {
+		if !sortedAfter(info, scope, rs, obj) {
+			return false
+		}
+	}
+	return true
+}
+
+// sortedAfter reports whether a sort call with obj as its first argument
+// appears in scope after the range statement.
+func sortedAfter(info *types.Info, scope ast.Node, rs *ast.RangeStmt, obj types.Object) bool {
+	found := false
+	ast.Inspect(scope, func(n ast.Node) bool {
+		if found || n == nil {
+			return !found
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() <= rs.End() || len(call.Args) == 0 {
+			return true
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		fn, ok := info.Uses[sel.Sel].(*types.Func)
+		if !ok || fn.Pkg() == nil {
+			return true
+		}
+		names := sortCalls[fn.Pkg().Path()]
+		if names == nil || !names[fn.Name()] {
+			return true
+		}
+		if arg, ok := ast.Unparen(call.Args[0]).(*ast.Ident); ok && info.ObjectOf(arg) == obj {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// funcScopes yields every function body in the file — declarations and
+// literals — paired with its declaration node, visiting literals after
+// their enclosing declaration.
+func funcScopes(f *ast.File, visit func(node ast.Node, body *ast.BlockStmt)) {
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch fn := n.(type) {
+		case *ast.FuncDecl:
+			if fn.Body != nil {
+				visit(fn, fn.Body)
+			}
+		case *ast.FuncLit:
+			visit(fn, fn.Body)
+		}
+		return true
+	})
+}

@@ -1,0 +1,185 @@
+// Package loading without golang.org/x/tools: the loader shells out to
+// `go list -export` for dependency export data and type-checks the target
+// packages' sources with go/types, importing every dependency (stdlib and
+// module-internal alike) from the compiler's export files. This is the
+// same division of labor as go/packages' LoadAllSyntax for the targets and
+// LoadTypes for their dependencies, built from the standard library only.
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+)
+
+// A Package is one loaded, type-checked target package.
+type Package struct {
+	// Path is the import path; Dir the source directory.
+	Path string
+	Dir  string
+
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+
+	// Sources holds each file's raw bytes (keyed by filename), kept for
+	// the annotation facility's own-line/trailing comment distinction.
+	Sources map[string][]byte
+}
+
+// listedPkg is the subset of `go list -json` output the loader consumes.
+type listedPkg struct {
+	Dir        string
+	ImportPath string
+	Export     string
+	GoFiles    []string
+	Standard   bool
+	Error      *struct{ Err string }
+	DepsErrors []*struct{ Err string }
+}
+
+// goList runs `go list -e -deps -export -json` over patterns in dir and
+// returns the decoded package stream (dependencies first).
+func goList(dir string, patterns []string) ([]listedPkg, error) {
+	args := append([]string{
+		"list", "-e", "-deps", "-export",
+		"-json=ImportPath,Export,Dir,GoFiles,Standard,Error,DepsErrors",
+	}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("analysis: go list %v: %v\n%s", patterns, err, stderr.String())
+	}
+	var pkgs []listedPkg
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listedPkg
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("analysis: decoding go list output: %v", err)
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+// exportImporter resolves imports from a path→export-file map using the
+// gc importer, so type-checking a target package never re-checks its
+// dependencies from source.
+func exportImporter(fset *token.FileSet, exports map[string]string) types.Importer {
+	lookup := func(path string) (io.ReadCloser, error) {
+		f, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(f)
+	}
+	return unsafeAware{importer.ForCompiler(fset, "gc", lookup)}
+}
+
+// unsafeAware short-circuits the "unsafe" pseudo-package, which has no
+// export data.
+type unsafeAware struct{ next types.Importer }
+
+func (u unsafeAware) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	return u.next.Import(path)
+}
+
+// newInfo allocates the types.Info maps the analyzers rely on.
+func newInfo() *types.Info {
+	return &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+}
+
+// Load lists patterns in moduleDir and returns every non-standard-library
+// match fully parsed and type-checked, in deterministic (import path)
+// order. Test files are not loaded: the determinism contract binds the
+// shipped engine, and tests legitimately exercise nondeterminism.
+func Load(moduleDir string, patterns ...string) ([]*Package, error) {
+	listed, err := goList(moduleDir, patterns)
+	if err != nil {
+		return nil, err
+	}
+	exports := map[string]string{}
+	var targets []listedPkg
+	for _, p := range listed {
+		if p.Error != nil {
+			return nil, fmt.Errorf("analysis: %s: %s", p.ImportPath, p.Error.Err)
+		}
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+		if !p.Standard && len(p.GoFiles) > 0 {
+			targets = append(targets, p)
+		}
+	}
+	sort.Slice(targets, func(i, j int) bool { return targets[i].ImportPath < targets[j].ImportPath })
+
+	fset := token.NewFileSet()
+	imp := exportImporter(fset, exports)
+	var pkgs []*Package
+	for _, t := range targets {
+		pkg, err := typeCheckDir(fset, imp, t.ImportPath, t.Dir, t.GoFiles)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+// typeCheckDir parses files (relative to dir) and type-checks them as
+// package path, importing dependencies through imp.
+func typeCheckDir(fset *token.FileSet, imp types.Importer, path, dir string, files []string) (*Package, error) {
+	pkg := &Package{
+		Path:    path,
+		Dir:     dir,
+		Fset:    fset,
+		Info:    newInfo(),
+		Sources: map[string][]byte{},
+	}
+	for _, name := range files {
+		full := filepath.Join(dir, name)
+		src, err := os.ReadFile(full)
+		if err != nil {
+			return nil, fmt.Errorf("analysis: %v", err)
+		}
+		f, err := parser.ParseFile(fset, full, src, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("analysis: %v", err)
+		}
+		pkg.Files = append(pkg.Files, f)
+		pkg.Sources[full] = src
+	}
+	conf := types.Config{Importer: imp}
+	tpkg, err := conf.Check(path, fset, pkg.Files, pkg.Info)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: type-checking %s: %v", path, err)
+	}
+	pkg.Types = tpkg
+	return pkg, nil
+}

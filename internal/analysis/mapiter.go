@@ -1,0 +1,75 @@
+// The mapiter analyzer: no raw map iteration in result-affecting
+// packages. Go randomizes map iteration order per run; any map range on a
+// path that shapes detections, records, statistics, or serialized output
+// is a latent violation of the bit-identical merge-determinism contract
+// (ARCHITECTURE.md), even when today's workloads happen not to expose it.
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// mapiterPackages are the result-affecting packages: the deterministic
+// engine, the campaign merge paths, the distributed coordinator, and the
+// two binaries whose emitted summaries/NDJSON snapshots are diffed
+// bit-for-bit by CI and by the distributed-equivalence tests.
+var mapiterPackages = pkgSet{
+	"fmossim/internal/core":      true,
+	"fmossim/internal/campaign":  true,
+	"fmossim/internal/switchsim": true,
+	"fmossim/internal/distrib":   true,
+	"fmossim/internal/server":    true,
+	"fmossim/cmd/fmossim":        true,
+	"fmossim/cmd/fmossimd":       true,
+}
+
+// Mapiter flags `range` over a map in a result-affecting package unless
+// the loop is the canonical collect-keys-then-sort idiom or the site
+// carries a //fmossim:nondeterminism-ok annotation with a reason.
+var Mapiter = &Analyzer{
+	Name: "mapiter",
+	Doc: "flag nondeterministic map iteration in result-affecting packages\n\n" +
+		"Map ranges in core, campaign, switchsim, distrib, server and the\n" +
+		"fmossim/fmossimd binaries must either collect keys into a slice that\n" +
+		"is sorted before use, or carry //fmossim:nondeterminism-ok <reason>.",
+	Run: runMapiter,
+}
+
+func runMapiter(pass *Pass) error {
+	if !mapiterPackages.has(pass.Pkg.Path()) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		funcScopes(f, func(scope ast.Node, body *ast.BlockStmt) {
+			ast.Inspect(body, func(n ast.Node) bool {
+				// Nested function bodies are visited by their own
+				// funcScopes call (with the literal as sorting scope).
+				if _, ok := n.(*ast.FuncLit); ok && n != scope {
+					return false
+				}
+				rs, ok := n.(*ast.RangeStmt)
+				if !ok || !isMapType(pass.TypesInfo, rs.X) {
+					return true
+				}
+				if rangeCollectsSorted(pass.TypesInfo, scope, rs) {
+					return true
+				}
+				pass.Reportf(rs.Pos(),
+					"range over map %s iterates in nondeterministic order in result-affecting package %s; collect and sort the keys first, or annotate the line with %s <reason>",
+					typeLabel(pass.TypesInfo, rs.X), pass.Pkg.Path(), AnnotationMarker)
+				return true
+			})
+		})
+	}
+	return nil
+}
+
+// typeLabel renders e's type compactly for diagnostics.
+func typeLabel(info *types.Info, e ast.Expr) string {
+	t := info.TypeOf(e)
+	if t == nil {
+		return "<unknown>"
+	}
+	return types.TypeString(t, types.RelativeTo(nil))
+}

@@ -1,0 +1,13 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"fmossim/internal/analysis"
+	"fmossim/internal/analysis/analysistest"
+)
+
+func TestMapiter(t *testing.T) {
+	analysistest.Run(t, "testdata/mapiter", []*analysis.Analyzer{analysis.Mapiter},
+		"fmossim/internal/campaign", "example.com/other")
+}

@@ -1,0 +1,13 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"fmossim/internal/analysis"
+	"fmossim/internal/analysis/analysistest"
+)
+
+func TestMergeorder(t *testing.T) {
+	analysistest.Run(t, "testdata/mergeorder", []*analysis.Analyzer{analysis.Mergeorder},
+		"fmossim/internal/distrib")
+}

@@ -1,0 +1,13 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"fmossim/internal/analysis"
+	"fmossim/internal/analysis/analysistest"
+)
+
+func TestPlanecanon(t *testing.T) {
+	analysistest.Run(t, "testdata/planecanon", []*analysis.Analyzer{analysis.Planecanon},
+		"fmossim/internal/core", "fmossim/internal/switchsim")
+}

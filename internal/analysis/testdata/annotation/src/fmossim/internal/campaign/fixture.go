@@ -1,0 +1,33 @@
+// Annotation-facility fixtures, exercised with the mapiter analyzer: a
+// reasoned annotation suppresses, a bare marker is rejected and
+// suppresses nothing, and a reasoned annotation covering a clean line is
+// reported as stale.
+package campaign
+
+func suppressedTrailing(m map[int]string) {
+	for k := range m { //fmossim:nondeterminism-ok output order does not reach any result
+		_ = k
+	}
+}
+
+func suppressedOwnLine(m map[int]string) {
+	//fmossim:nondeterminism-ok output order does not reach any result
+	for k := range m {
+		_ = k
+	}
+}
+
+func bareMarker(m map[int]string) {
+	for k := range m { //fmossim:nondeterminism-ok // want `range over map` `requires a reason string`
+		_ = k
+	}
+}
+
+func staleAnnotation(s []int) int {
+	total := 0
+	//fmossim:nondeterminism-ok slices iterate deterministically anyway // want `unused //fmossim:nondeterminism-ok annotation`
+	for _, v := range s {
+		total += v
+	}
+	return total
+}

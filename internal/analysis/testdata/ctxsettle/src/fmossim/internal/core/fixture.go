@@ -1,0 +1,80 @@
+// Ctxsettle fixtures: per-setting loops driving Step/RunBatch inside
+// context-carrying functions must poll ctx.Err() or call the OnObserve
+// hook.
+package core
+
+import "context"
+
+type batch struct{ opts options }
+
+type options struct{ OnObserve func(int) }
+
+func (b *batch) Step(i int) int { return i }
+
+func RunBatch(n int) int { return n }
+
+func uncheckedLoop(ctx context.Context, b *batch) {
+	for i := 0; i < 8; i++ { // want `per-setting loop calls Step without checking ctx\.Err\(\)`
+		b.Step(i)
+	}
+}
+
+func uncheckedRange(ctx context.Context, b *batch, settings []int) {
+	for _, s := range settings { // want `per-setting loop calls Step`
+		b.Step(s)
+	}
+}
+
+func uncheckedRunBatch(ctx context.Context, shards []int) {
+	for _, s := range shards { // want `per-setting loop calls RunBatch`
+		RunBatch(s)
+	}
+}
+
+func checkedLoop(ctx context.Context, b *batch) error {
+	for i := 0; i < 8; i++ {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		b.Step(i)
+	}
+	return nil
+}
+
+func hookedLoop(ctx context.Context, b *batch) {
+	for i := 0; i < 8; i++ {
+		b.Step(i)
+		if b.opts.OnObserve != nil {
+			b.opts.OnObserve(i)
+		}
+	}
+}
+
+// The check may live in the innermost loop only: the outer pattern loop
+// is not flagged when every Step it reaches sits in a checked inner loop.
+func nestedChecked(ctx context.Context, b *batch, patterns [][]int) error {
+	for _, p := range patterns {
+		for _, s := range p {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			b.Step(s)
+		}
+	}
+	return nil
+}
+
+// A Step spawned per iteration belongs to the closure's own (loop-free)
+// scope; responsibility for cancellation moved with it.
+func spawnedStep(ctx context.Context, b *batch) {
+	for i := 0; i < 2; i++ {
+		go func() { b.Step(0) }()
+	}
+}
+
+// No context parameter: the interactive/monolithic path is exempt.
+func noContext(b *batch) {
+	for i := 0; i < 8; i++ {
+		b.Step(i)
+	}
+}

@@ -1,0 +1,14 @@
+// logic is not a batch/replay package: ctxsettle does not apply.
+package logic
+
+import "context"
+
+type batch struct{}
+
+func (b *batch) Step(i int) int { return i }
+
+func uncheckedElsewhere(ctx context.Context, b *batch) {
+	for i := 0; i < 8; i++ {
+		b.Step(i)
+	}
+}

@@ -1,0 +1,9 @@
+// A package outside the result-affecting set: raw map iteration is fine
+// here.
+package other
+
+func rawRange(m map[int]string) {
+	for k := range m {
+		_ = k
+	}
+}

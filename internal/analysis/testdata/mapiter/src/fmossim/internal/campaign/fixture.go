@@ -1,0 +1,71 @@
+// Mapiter fixtures: raw map iteration in a result-affecting package
+// fires; the collect-then-sort idiom and annotated sites do not.
+package campaign
+
+import "sort"
+
+func rawRange(m map[int]string) {
+	for k := range m { // want `range over map map\[int\]string iterates in nondeterministic order`
+		_ = k
+	}
+}
+
+func rawRangeKeyValue(m map[string]int) int {
+	total := 0
+	for _, v := range m { // want `range over map map\[string\]int`
+		total += v
+	}
+	return total
+}
+
+func collectThenSort(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func collectThenSliceSort(m map[int]int) []int {
+	keys := make([]int, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return keys
+}
+
+func collectWithoutSort(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m { // want `range over map map\[string\]int`
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+func collectPlusSideEffect(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	n := 0
+	for k := range m { // want `range over map map\[string\]int`
+		keys = append(keys, k)
+		n++
+	}
+	sort.Strings(keys)
+	_ = n
+	return keys
+}
+
+func annotated(m map[int]string) {
+	for k := range m { //fmossim:nondeterminism-ok aggregation below is commutative
+		_ = k
+	}
+}
+
+func sliceRangeIsFine(s []int) int {
+	total := 0
+	for _, v := range s {
+		total += v
+	}
+	return total
+}

@@ -1,0 +1,10 @@
+// The encoding's home package is exempt: switchsim itself implements the
+// canonical-form algebra with raw plane writes.
+package switchsim
+
+type LanePlanes struct{ V, X uint64 }
+
+func (p *LanePlanes) setHi(bit uint) {
+	p.V |= 1 << bit
+	p.X &^= 1 << bit
+}

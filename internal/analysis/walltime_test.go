@@ -1,0 +1,13 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"fmossim/internal/analysis"
+	"fmossim/internal/analysis/analysistest"
+)
+
+func TestWalltime(t *testing.T) {
+	analysistest.Run(t, "testdata/walltime", []*analysis.Analyzer{analysis.Walltime},
+		"fmossim/internal/core", "fmossim/internal/distrib")
+}

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"math"
 	"runtime"
+	"sort"
 	"sync"
 	"sync/atomic"
 
@@ -242,8 +243,15 @@ func Run(ctx context.Context, nw *netlist.Network, faults []fault.Fault, seq *sw
 			if err := prev.matches(ck); err != nil {
 				return nil, fmt.Errorf("campaign: checkpoint %s: %w", opts.CheckpointPath, err)
 			}
-			for i, br := range prev.Done {
-				if i >= 0 && i < nBatches && br != nil {
+			// Restore completed batches in ascending batch order so the
+			// whole resume path — counters included — is deterministic.
+			done := make([]int, 0, len(prev.Done))
+			for i := range prev.Done {
+				done = append(done, i)
+			}
+			sort.Ints(done)
+			for _, i := range done {
+				if br := prev.Done[i]; i >= 0 && i < nBatches && br != nil {
 					results[i] = br
 					ck.Done[i] = br
 					resumed++

@@ -326,7 +326,7 @@ func (b *FaultBatch) touch(n netlist.NodeID) {
 // pre-step mirrors to the post-step state. Returns the fault-side setting
 // statistics (the caller owns the good-side fields).
 func (b *FaultBatch) Step(trace *switchsim.StepTrace) SettingStats {
-	t0 := time.Now()
+	t0 := time.Now() //fmossim:nondeterminism-ok FaultNS wall-clock stats are contract-exempt (doc.go)
 	w0 := b.faultWork()
 
 	if b.ownsGood {
@@ -386,7 +386,7 @@ func (b *FaultBatch) Step(trace *switchsim.StepTrace) SettingStats {
 		ActiveCircuits: nActive,
 		LiveFaults:     b.live,
 		FaultWork:      dw.Units(),
-		FaultNS:        time.Since(t0).Nanoseconds(),
+		FaultNS:        time.Since(t0).Nanoseconds(), //fmossim:nondeterminism-ok FaultNS wall-clock stats are contract-exempt (doc.go)
 		AdoptedVics:    dw.AdoptedVics,
 		SolvedVics:     dw.Vicinities,
 		FaultsRetired:  b.retired - b.lastRetired,

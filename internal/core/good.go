@@ -42,7 +42,7 @@ func newGoodRunner(tab *switchsim.Tables, opts Options) *goodRunner {
 // init runs the power-on initialization settle (every storage node
 // perturbed from the reset state) and returns its borrowed trace.
 func (g *goodRunner) init() *switchsim.StepTrace {
-	t0 := time.Now()
+	t0 := time.Now() //fmossim:nondeterminism-ok GoodNS wall-clock stats are contract-exempt (doc.go)
 	w0 := g.gsolve.Work()
 	res := g.gsolve.SettleAll(g.good)
 	return g.fill(true, nil, res, w0, t0)
@@ -53,7 +53,7 @@ func (g *goodRunner) init() *switchsim.StepTrace {
 // values, so the trace carries exactly the assignments that perturb any
 // circuit (an unchanged input is a no-op in faulty circuits too).
 func (g *goodRunner) step(setting switchsim.Setting) *switchsim.StepTrace {
-	t0 := time.Now()
+	t0 := time.Now() //fmossim:nondeterminism-ok GoodNS wall-clock stats are contract-exempt (doc.go)
 	w0 := g.gsolve.Work()
 	g.inputBuf = g.inputBuf[:0]
 	for _, a := range setting {
@@ -82,7 +82,7 @@ func (g *goodRunner) fill(init bool, inputs []switchsim.Change, res switchsim.Se
 		Oscillated:   res.Oscillated,
 		Traj:         &g.gsolve.Traj,
 		GoodWork:     g.gsolve.Work().Sub(w0).Units(),
-		GoodNS:       time.Since(t0).Nanoseconds(),
+		GoodNS:       time.Since(t0).Nanoseconds(), //fmossim:nondeterminism-ok GoodNS wall-clock stats are contract-exempt (doc.go)
 	}
 	return &g.trace
 }

@@ -254,9 +254,16 @@ func (b *FaultBatch) checkRecordInvariants() error {
 			}
 		}
 		if want[n] != nil {
-			for ci, count := range want[n] {
-				if i, ok := b.interest[n].find(ci); !ok || b.interest[n][i].count != count {
-					return errf("interest[%s][%d] missing or wrong, want %d", b.nw.Name(netlist.NodeID(n)), ci, count)
+			// Sorted keys: which violation gets reported must not depend
+			// on map iteration order.
+			cids := make([]CircuitID, 0, len(want[n]))
+			for ci := range want[n] {
+				cids = append(cids, ci)
+			}
+			sort.Slice(cids, func(x, y int) bool { return cids[x] < cids[y] })
+			for _, ci := range cids {
+				if i, ok := b.interest[n].find(ci); !ok || b.interest[n][i].count != want[n][ci] {
+					return errf("interest[%s][%d] missing or wrong, want %d", b.nw.Name(netlist.NodeID(n)), ci, want[n][ci])
 				}
 			}
 		}

@@ -4,7 +4,7 @@ package fault
 
 import (
 	"fmt"
-	"math/rand"
+	"math/rand" //fmossim:nondeterminism-ok Sample takes a caller-seeded *rand.Rand; sampling is reproducible given the seed
 	"sort"
 
 	"fmossim/internal/logic"
