@@ -22,4 +22,12 @@
 // and -checkpoint FILE makes the campaign resumable (completed batches
 // are reloaded instead of re-simulated). Campaign results are
 // bit-identical to the monolithic run.
+//
+// -trim enables redundancy trimming: materialization-equivalent fault
+// classes collapse onto one representative lane after a probation window
+// (-trim-probation N overrides it), and worker solvers memoize
+// read-verified vicinity outcomes. Results stay byte-identical; only
+// executed work shrinks. -snapshot-every N captures a good-state frame
+// every N settings so a checkpointed campaign interrupted mid-batch
+// resumes from the last frame instead of replaying the batch's prefix.
 package main

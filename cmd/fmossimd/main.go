@@ -45,6 +45,8 @@ func main() {
 	simWorkers := flag.Int("sim-workers", 0, "per-shard simulator workers on each remote")
 	inFlight := flag.Int("in-flight", 0, "concurrent shards per worker (default 2)")
 	attempts := flag.Int("attempts", 0, "dispatch attempts per shard before the campaign fails (default 3)")
+	trim := flag.Bool("trim", false, "redundancy trimming on every shard (results are byte-identical)")
+	trimProbation := flag.Int("trim-probation", 0, "class-collapse probation window in settings (0: default)")
 	flag.Parse()
 
 	if *coordinator {
@@ -54,6 +56,7 @@ func main() {
 			netPath: *netPath, patPath: *patPath, observe: *observe, drop: *drop,
 			batch: *batch, coverageTarget: *coverageTarget,
 			simWorkers: *simWorkers, inFlight: *inFlight, attempts: *attempts,
+			trim: *trim, trimProbation: *trimProbation,
 		})
 		return
 	}
@@ -103,6 +106,8 @@ type coordinatorConfig struct {
 	batch                          int
 	coverageTarget                 float64
 	simWorkers, inFlight, attempts int
+	trim                           bool
+	trimProbation                  int
 }
 
 // runCoordinator executes one distributed campaign and prints the merged
@@ -132,6 +137,8 @@ func runCoordinator(cfg coordinatorConfig) {
 		FaultModel:     cfg.faultModel,
 		Drop:           cfg.drop,
 		CoverageTarget: cfg.coverageTarget,
+		Trim:           cfg.trim,
+		TrimProbation:  cfg.trimProbation,
 	}
 	if cfg.netPath != "" {
 		spec.Netlist = readFile(cfg.netPath)

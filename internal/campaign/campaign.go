@@ -221,7 +221,9 @@ func Run(ctx context.Context, nw *netlist.Network, faults []fault.Fault, seq *sw
 	// Resume: completed batches come from the checkpoint, not from
 	// simulation.
 	results := make([]*core.BatchResult, nBatches)
+	partials := make(map[int]*core.BatchSnapshot)
 	ck := &Checkpoint{
+		Version:        checkpointVersion,
 		Sequence:       seq.Name,
 		NumSettings:    seq.NumSettings(),
 		NumFaults:      nf,
@@ -256,6 +258,29 @@ func Run(ctx context.Context, nw *netlist.Network, faults []fault.Fault, seq *sw
 					ck.Done[i] = br
 					resumed++
 				}
+			}
+			// Mid-batch snapshots of interrupted batches: usable only when
+			// the trim mode still matches the capture (class state present
+			// iff trimming) and the recording carries a state frame at the
+			// snapshot's step. Unusable partials are dropped — the batch
+			// re-runs from the start, same result.
+			partIdx := make([]int, 0, len(prev.Partial))
+			for i := range prev.Partial {
+				partIdx = append(partIdx, i)
+			}
+			sort.Ints(partIdx)
+			for _, i := range partIdx {
+				snap := prev.Partial[i]
+				if i < 0 || i >= nBatches || snap == nil || results[i] != nil {
+					continue
+				}
+				if (len(snap.Sigs) > 0) != simOpts.Trim {
+					continue
+				}
+				if rec.SnapshotAt(snap.Step) == nil {
+					continue
+				}
+				partials[i] = snap
 			}
 		}
 	}
@@ -362,7 +387,30 @@ func Run(ctx context.Context, nw *netlist.Network, faults []fault.Fault, seq *sw
 						emitProgress(ev, true, false)
 					}
 				}
-				br, err := core.RunBatch(ctx, tab, faults[lo:hi], rec, seq, batchOpts)
+				if opts.CheckpointPath != "" && batchOpts.SnapshotEvery > 0 {
+					// Persist mid-batch snapshots so an interrupted batch
+					// resumes from its last frame instead of from setting
+					// zero. Best-effort: a failed partial save is ignored
+					// (the completion save below surfaces persistent I/O
+					// trouble), so it can never fail an otherwise healthy
+					// campaign.
+					batchOpts.OnSnapshot = func(s *core.BatchSnapshot) {
+						ckMu.Lock()
+						if ck.Partial == nil {
+							ck.Partial = map[int]*core.BatchSnapshot{}
+						}
+						ck.Partial[i] = s
+						ck.saveFile(opts.CheckpointPath)
+						ckMu.Unlock()
+					}
+				}
+				var br *core.BatchResult
+				var err error
+				if snap := partials[i]; snap != nil {
+					br, err = core.RunBatchFrom(ctx, tab, faults[lo:hi], rec, seq, snap, batchOpts)
+				} else {
+					br, err = core.RunBatch(ctx, tab, faults[lo:hi], rec, seq, batchOpts)
+				}
 				if err != nil {
 					errMu.Lock()
 					if firstErr == nil {
@@ -392,6 +440,7 @@ func Run(ctx context.Context, nw *netlist.Network, faults []fault.Fault, seq *sw
 				if opts.CheckpointPath != "" {
 					ckMu.Lock()
 					ck.Done[i] = br
+					delete(ck.Partial, i)
 					err := ck.saveFile(opts.CheckpointPath)
 					ckMu.Unlock()
 					if err != nil {

@@ -3,9 +3,11 @@ package campaign_test
 import (
 	"bytes"
 	"context"
+	"encoding/json"
 	"errors"
 	"os"
 	"path/filepath"
+	"strings"
 	"sync"
 	"testing"
 
@@ -389,5 +391,135 @@ func TestCampaignCancellation(t *testing.T) {
 	if res.Run.Detected != clean.Run.Detected || res.Run.FaultWork != clean.Run.FaultWork {
 		t.Fatalf("resumed result diverged: %d/%d vs %d/%d",
 			res.Run.Detected, res.Run.FaultWork, clean.Run.Detected, clean.Run.FaultWork)
+	}
+}
+
+// TestCampaignCheckpointVersionReject: a checkpoint written under an
+// older schema (pre-trim, no partial snapshots) is refused with an error
+// naming the version, instead of silently reinterpreting its contents.
+func TestCampaignCheckpointVersionReject(t *testing.T) {
+	m, faults, seq := testBench(t)
+	obs := []netlist.NodeID{m.DataOut}
+	ckPath := filepath.Join(t.TempDir(), "campaign.ck")
+
+	opts := campaign.Options{
+		Sim:            core.Options{Observe: obs, Workers: 1},
+		BatchSize:      ceilDiv(len(faults), 3),
+		Shards:         1,
+		CheckpointPath: ckPath,
+	}
+	if _, err := campaign.Run(context.Background(), m.Net, faults, seq, opts); err != nil {
+		t.Fatal(err)
+	}
+
+	// Rewrite the file as the previous schema would have written it: same
+	// contents, version field 1 (a pre-versioned file decodes as 0 — also
+	// rejected).
+	for _, v := range []int{0, 1, 99} {
+		raw, err := os.ReadFile(ckPath)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var doc map[string]any
+		if err := json.Unmarshal(raw, &doc); err != nil {
+			t.Fatal(err)
+		}
+		if v == 0 {
+			delete(doc, "version")
+		} else {
+			doc["version"] = v
+		}
+		mut, err := json.Marshal(doc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(ckPath, mut, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		_, err = campaign.Run(context.Background(), m.Net, faults, seq, opts)
+		if err == nil {
+			t.Fatalf("version-%d checkpoint accepted", v)
+		}
+		if !strings.Contains(err.Error(), "version") {
+			t.Fatalf("version-%d rejection does not name the schema version: %v", v, err)
+		}
+	}
+}
+
+// TestCampaignPartialResume: a campaign interrupted mid-batch leaves a
+// partial snapshot in the checkpoint; resuming restarts that batch from
+// the snapshot (not from setting zero) and merges to the identical
+// result. A trim-mode flip between the runs discards the partial but
+// still converges to the same result.
+func TestCampaignPartialResume(t *testing.T) {
+	m, faults, seq := testBench(t)
+	obs := []netlist.NodeID{m.DataOut}
+
+	ref, err := campaign.Run(context.Background(), m.Net, faults, seq, campaign.Options{
+		Sim:       core.Options{Observe: obs, Workers: 1},
+		BatchSize: len(faults),
+		Shards:    1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, flip := range []bool{false, true} {
+		ckPath := filepath.Join(t.TempDir(), "campaign.ck")
+		ctx, cancel := context.WithCancel(context.Background())
+		opts := campaign.Options{
+			Sim:            core.Options{Observe: obs, Workers: 1, Trim: true, SnapshotEvery: 4},
+			BatchSize:      len(faults), // one batch: only partial progress can survive
+			Shards:         1,
+			CheckpointPath: ckPath,
+			Progress: func(ev campaign.ProgressEvent) {
+				// Cancel mid-batch, past a few snapshot frames.
+				if ev.Pattern >= 2 {
+					cancel()
+				}
+			},
+		}
+		if _, err := campaign.Run(ctx, m.Net, faults, seq, opts); !errors.Is(err, context.Canceled) {
+			t.Fatalf("interrupted campaign returned %v, want context.Canceled", err)
+		}
+		raw, err := os.ReadFile(ckPath)
+		if err != nil {
+			t.Fatalf("no checkpoint after mid-batch interruption: %v", err)
+		}
+		if !strings.Contains(string(raw), "\"partial\"") {
+			t.Fatal("checkpoint carries no partial snapshot")
+		}
+
+		opts.Sim.Trim = !flip // flip=true resumes untrimmed, discarding the partial
+		var first *campaign.ProgressEvent
+		opts.Progress = func(ev campaign.ProgressEvent) {
+			if first == nil && !ev.BatchDone {
+				e := ev
+				first = &e
+			}
+		}
+		res, err := campaign.Run(context.Background(), m.Net, faults, seq, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !flip {
+			// Same trim mode: the batch must have restarted mid-sequence.
+			if first == nil || (first.Pattern == 0 && first.Setting == 0) {
+				t.Fatalf("resume replayed from the start (first event %+v)", first)
+			}
+		} else if first != nil && (first.Pattern != 0 || first.Setting != 0) {
+			t.Fatalf("trim-mode flip should discard the partial; first event %+v", first)
+		}
+		if res.Run.Detected != ref.Run.Detected || res.Run.FaultWork != ref.Run.FaultWork {
+			t.Fatalf("flip=%v: resumed result diverged: %d/%d vs %d/%d", flip,
+				res.Run.Detected, res.Run.FaultWork, ref.Run.Detected, ref.Run.FaultWork)
+		}
+		for fi := range faults {
+			rd, rok := ref.Detected(fi)
+			gd, gok := res.Detected(fi)
+			if rok != gok || rd != gd {
+				t.Fatalf("flip=%v: fault %d detection differs after partial resume", flip, fi)
+			}
+		}
 	}
 }

@@ -19,10 +19,18 @@ import (
 	"fmossim/internal/fault"
 )
 
+// checkpointVersion is the current checkpoint schema. Version 2 added
+// mid-batch partial snapshots (Partial) alongside the redundancy-trimming
+// engine; version-1 files (and pre-versioned files, which decode as
+// version 0) are refused with an explicit error rather than silently
+// reinterpreted.
+const checkpointVersion = 2
+
 // Checkpoint is the serializable resume state of a campaign: the campaign
 // fingerprint (to refuse resuming a different campaign) plus the
 // completed batches' results, keyed by batch index.
 type Checkpoint struct {
+	Version        int    `json:"version"`
 	Sequence       string `json:"sequence"`
 	NumSettings    int    `json:"num_settings"`
 	NumFaults      int    `json:"num_faults"`
@@ -40,6 +48,16 @@ type Checkpoint struct {
 	SimHash    uint64 `json:"sim_hash"`
 
 	Done map[int]*core.BatchResult `json:"done"`
+
+	// Partial holds mid-batch snapshots (see core.BatchSnapshot) for
+	// batches interrupted between settings, keyed by batch index: on
+	// resume those batches restart from the snapshot instead of from the
+	// beginning (core.RunBatchFrom). A partial entry is dropped the moment
+	// its batch completes, and silently discarded on resume when it is no
+	// longer usable (trim mode changed, or the recording carries no state
+	// frame at its step) — the batch then just re-runs from scratch, so
+	// partials are purely a cost optimization, never a correctness input.
+	Partial map[int]*core.BatchSnapshot `json:"partial,omitempty"`
 }
 
 // hashFaults digests the fault list content.
@@ -55,10 +73,14 @@ func hashFaults(faults []fault.Fault) uint64 {
 	return h.Sum64()
 }
 
-// hashSimOptions digests the result-shaping simulator options. Workers
-// and the OnObserve progress hook are deliberately excluded: results are
-// bit-identical for every worker count and progress never shapes them,
-// so both are legitimate things to change between resume runs.
+// hashSimOptions digests the result-shaping simulator options. Workers,
+// the OnObserve/OnSnapshot hooks, and the trimming knobs (Trim,
+// TrimProbation, SnapshotEvery) are deliberately excluded: results are
+// bit-identical for every worker count, hooks never shape them, and the
+// redundancy trims shed executed work while keeping every BatchResult
+// field byte-identical — all of them are legitimate things to change
+// between resume runs. (A trim-mode change does invalidate mid-batch
+// Partial snapshots; those are discarded on resume, never fingerprinted.)
 func hashSimOptions(opts core.Options) uint64 {
 	h := fnv.New64a()
 	var buf [8]byte
@@ -84,6 +106,9 @@ func b2u(b bool) byte {
 // matches verifies the checkpoint belongs to the same campaign.
 func (c *Checkpoint) matches(want *Checkpoint) error {
 	switch {
+	case c.Version != checkpointVersion:
+		return fmt.Errorf("checkpoint schema version %d, this build writes version %d; delete the checkpoint file (completed batches will re-run) or finish the campaign with the build that wrote it",
+			c.Version, checkpointVersion)
 	case c.Sequence != want.Sequence || c.NumSettings != want.NumSettings:
 		return fmt.Errorf("sequence %q (%d settings), campaign runs %q (%d)",
 			c.Sequence, c.NumSettings, want.Sequence, want.NumSettings)

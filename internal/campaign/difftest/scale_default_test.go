@@ -1,0 +1,13 @@
+//go:build !slow
+
+package difftest
+
+// Bounded harness scale for the default `go test` run: a handful of
+// seeded cases over small geometries, well under a minute.
+const (
+	difftestSeed = 0x5eedfa01
+	nCases       = 10
+)
+
+// geometries the bounded run draws from (rows, cols; powers of two).
+var geometries = [][2]int{{2, 2}, {2, 4}, {4, 4}}

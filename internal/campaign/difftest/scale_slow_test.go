@@ -1,0 +1,14 @@
+//go:build slow
+
+package difftest
+
+// Full-sweep harness scale: `go test -tags slow ./internal/campaign/difftest`
+// draws a much larger seeded lattice over bigger geometries (including
+// the paper's 8×8 RAM64). Expect minutes, not seconds.
+const (
+	difftestSeed = 0x5eedfa01
+	nCases       = 120
+)
+
+// geometries the full sweep draws from (rows, cols; powers of two).
+var geometries = [][2]int{{2, 2}, {2, 4}, {4, 4}, {4, 8}, {8, 8}}

@@ -122,6 +122,19 @@ type FaultBatch struct {
 	// since the previous Step (the drops of the interleaved observation).
 	retired     int
 	lastRetired int
+
+	// Redundancy trimming (Options.Trim, see trim.go): the candidate
+	// class representatives, the probation window and the settings run so
+	// far, and the work credited to collapsed members (their
+	// representative's per-step work, fanned out so totals stay
+	// byte-identical to the untrimmed run).
+	classReps    []int
+	classPending bool // candidates exist and probation has not ended
+	anyCollapsed bool
+	lanesFreed   int
+	probation    int
+	settingsRun  int
+	creditWork   switchsim.Work
 }
 
 // laneCell is one lane word of a node's packed record row: the membership
@@ -203,9 +216,16 @@ func newBatch(tab *switchsim.Tables, good *switchsim.Circuit, faults []fault.Fau
 	}
 
 	for _, f := range faults {
-		b.faults = append(b.faults, &faultState{f: f, sites: siteSet(nw, f)})
+		b.faults = append(b.faults, &faultState{f: f, sites: siteSet(nw, f), repFi: -1})
 	}
 	b.live = len(b.faults)
+	if opts.Trim {
+		b.probation = opts.TrimProbation
+		if b.probation <= 0 {
+			b.probation = DefaultTrimProbation
+		}
+		b.groupClasses()
+	}
 
 	// Register static interest and record each fault's immediate (reset
 	// state) divergence, all before initialization.
@@ -279,14 +299,15 @@ func (b *FaultBatch) Detected(fi int) (Detection, bool) {
 }
 
 // Oscillated reports whether fault fi's circuit ever hit the round limit.
-func (b *FaultBatch) Oscillated(fi int) bool { return b.faults[fi].oscillated }
+func (b *FaultBatch) Oscillated(fi int) bool { return b.resolveFault(fi).oscillated }
 
 // Live returns the number of undropped circuits, O(1).
 func (b *FaultBatch) Live() int { return b.live }
 
-// Records returns a copy of the divergence records of fault fi.
+// Records returns a copy of the divergence records of fault fi (a
+// collapsed class member reads its representative's).
 func (b *FaultBatch) Records(fi int) map[netlist.NodeID]logic.Value {
-	recs := &b.faults[fi].recs
+	recs := &b.resolveFault(fi).recs
 	out := make(map[netlist.NodeID]logic.Value, recs.size())
 	for i, n := range recs.nodes {
 		out[n] = recs.vals[i]
@@ -297,7 +318,7 @@ func (b *FaultBatch) Records(fi int) map[netlist.NodeID]logic.Value {
 // FaultValue returns the state of node n in faulty circuit fi: the
 // divergence record if present, the good-circuit state otherwise.
 func (b *FaultBatch) FaultValue(fi int, n netlist.NodeID) logic.Value {
-	if v, ok := b.faults[fi].recs.get(n); ok {
+	if v, ok := b.resolveFault(fi).recs.get(n); ok {
 		return v
 	}
 	return b.good.Value(n)
@@ -328,6 +349,12 @@ func (b *FaultBatch) touch(n netlist.NodeID) {
 func (b *FaultBatch) Step(trace *switchsim.StepTrace) SettingStats {
 	t0 := time.Now() //fmossim:nondeterminism-ok FaultNS wall-clock stats are contract-exempt (doc.go)
 	w0 := b.faultWork()
+
+	if b.classPending && !trace.Init && b.settingsRun >= b.probation {
+		// Probation over: surviving candidate members surrender their
+		// lanes before this setting's scheduling snapshot is taken.
+		b.collapseClasses()
+	}
 
 	if b.ownsGood {
 		// Advance the owned good mirror to the post-step state before
@@ -399,7 +426,29 @@ func (b *FaultBatch) Step(trace *switchsim.StepTrace) SettingStats {
 	b.lastRetired = b.retired
 	if !trace.Init {
 		b.settingIdx++
+		b.settingsRun++
+		if b.classPending {
+			b.verifyClassSigs()
+		}
 	}
+	return st
+}
+
+// skipStep emits the SettingStats a full Step would produce when every
+// circuit in the batch is dropped — all-zero activity with only the
+// position counters and the previous observation's retirements filled in
+// — without building the replay index or advancing the mirrors (nothing
+// reads them once the batch is empty). Used by the trimmed replay loop to
+// shed the dead tail of a fully-retired batch.
+func (b *FaultBatch) skipStep() SettingStats {
+	st := SettingStats{
+		Pattern:       b.patternIdx,
+		Setting:       b.settingIdx,
+		FaultsRetired: b.retired - b.lastRetired,
+	}
+	b.lastRetired = b.retired
+	b.settingIdx++
+	b.settingsRun++
 	return st
 }
 
@@ -507,7 +556,18 @@ func (b *FaultBatch) simulateActivated(setting switchsim.Setting, traj *switchsi
 		}
 	}
 	b.runActivated(setting, nil, traj, goodChanged)
-	return len(b.active)
+	nActive := len(b.active)
+	if b.anyCollapsed {
+		// Collapsed members share their representative's interest set and
+		// records, so untrimmed they would have activated exactly when it
+		// did: count them so ActiveCircuits stays byte-identical.
+		for _, ci := range b.active {
+			if fs := b.faults[ci-1]; len(fs.classMembers) > 0 {
+				nActive += b.liveCollapsedMembers(fs)
+			}
+		}
+	}
+	return nActive
 }
 
 // faultInert reports whether a divergence-free circuit provably cannot
@@ -560,6 +620,7 @@ func (b *FaultBatch) Observe() []int {
 		}
 		row := b.recRows[ri]
 		gv := b.good.Value(o)
+		outStart := len(detectedNow)
 		for w := range row {
 			// The word snapshot is the iteration's working set: drops at
 			// this or earlier outputs clear member bits in the shared row,
@@ -587,6 +648,17 @@ func (b *FaultBatch) Observe() []int {
 					}
 					fs.detected = true
 					detectedNow = append(detectedNow, fi)
+					// Fan the detection out to collapsed class members:
+					// their (surrendered) records equal the
+					// representative's, so untrimmed they would have been
+					// detected at this same output with the same values.
+					for _, mfi := range fs.classMembers {
+						if cm := b.faults[mfi]; cm.collapsed && !cm.dropped && !cm.detected {
+							cm.det = fs.det
+							cm.detected = true
+							detectedNow = append(detectedNow, mfi)
+						}
+					}
 				}
 				drop := false
 				switch b.opts.Drop {
@@ -598,8 +670,20 @@ func (b *FaultBatch) Observe() []int {
 				}
 				if drop {
 					b.dropCircuit(ci)
+					for _, mfi := range fs.classMembers {
+						if cm := b.faults[mfi]; cm.collapsed && !cm.dropped {
+							b.dropCollapsedMember(cm)
+						}
+					}
 				}
 			}
+		}
+		if b.anyCollapsed {
+			// The untrimmed scan reports each output's detections in
+			// ascending fault order (words ascending, bits ascending);
+			// fanned-out members were appended next to their
+			// representative, so restore that order.
+			sort.Ints(detectedNow[outStart:])
 		}
 	}
 	b.detBuf = detectedNow
@@ -652,6 +736,13 @@ func (br *BatchResult) DetectedCount() int {
 // a cancelled replay returns ctx's error with no partial result. A nil
 // ctx behaves like context.Background().
 func (b *FaultBatch) RunRecording(ctx context.Context, rec *switchsim.Recording, seq *switchsim.Sequence) (*BatchResult, error) {
+	return b.runRecording(ctx, rec, seq, nil)
+}
+
+// runRecording is the shared replay loop behind RunRecording and
+// RunRecordingFrom: snap, when non-nil, restores a mid-sequence snapshot
+// and the loop continues with the setting after it.
+func (b *FaultBatch) runRecording(ctx context.Context, rec *switchsim.Recording, seq *switchsim.Sequence, snap *BatchSnapshot) (*BatchResult, error) {
 	if b.started {
 		return nil, fmt.Errorf("core: batch already ran; build a fresh FaultBatch per replay")
 	}
@@ -661,20 +752,55 @@ func (b *FaultBatch) RunRecording(ctx context.Context, rec *switchsim.Recording,
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	b.Step(&rec.Steps[0])
-
 	br := &BatchResult{NumFaults: len(b.faults)}
 	detTotal := 0
 	si := 1
-	for pi := range seq.Patterns {
+	startPat := 0
+	var resume *PatternStats
+	if snap != nil {
+		if err := b.restoreSnapshot(rec, snap); err != nil {
+			return nil, err
+		}
+		br.PerSetting = append(br.PerSetting, snap.PerSetting...)
+		br.PerPattern = append(br.PerPattern, snap.PerPattern...)
+		detTotal = snap.DetectedTotal
+		si = snap.Step + 1
+		startPat = snap.Pattern
+		partial := snap.PartialPattern
+		resume = &partial
+	} else {
+		b.Step(&rec.Steps[0])
+	}
+
+	for pi := startPat; pi < len(seq.Patterns); pi++ {
 		p := &seq.Patterns[pi]
-		b.BeginPattern()
-		ps := PatternStats{Pattern: pi, Name: p.Name, LiveBefore: b.live}
-		for i := range p.Settings {
+		var ps PatternStats
+		i0 := 0
+		if pi == startPat && resume != nil {
+			// Resume mid-pattern: the partial aggregate carries on and
+			// BeginPattern is skipped (the setting counter was restored).
+			ps = *resume
+			i0 = snap.SettingDone + 1
+		} else {
+			b.BeginPattern()
+			ps = PatternStats{Pattern: pi, Name: p.Name, LiveBefore: b.live}
+		}
+		for i := i0; i < len(p.Settings); i++ {
 			if err := ctx.Err(); err != nil {
 				return nil, fmt.Errorf("core: batch replay cancelled at pattern %d setting %d: %w", pi, i, err)
 			}
-			st := b.Step(&rec.Steps[si])
+			var st SettingStats
+			skipped := b.opts.Trim && b.live == 0
+			if skipped {
+				// Every circuit is dropped: the full step would schedule
+				// nothing, observe nothing, and report all-zero activity,
+				// so emit that result directly and skip the index build
+				// and mirror maintenance. Counted work is zero either
+				// way — this sheds executed tail cost only.
+				st = b.skipStep()
+			} else {
+				st = b.Step(&rec.Steps[si])
+			}
 			si++
 			br.PerSetting = append(br.PerSetting, st)
 			ps.FaultWork += st.FaultWork
@@ -685,10 +811,13 @@ func (b *FaultBatch) RunRecording(ctx context.Context, rec *switchsim.Recording,
 			ps.Settings++
 			var det []int
 			retired0 := b.retired
-			if p.ObserveAt(i) {
+			if p.ObserveAt(i) && !skipped {
 				det = b.Observe()
 				ps.Detected += len(det)
 				detTotal += len(det)
+			}
+			if b.opts.OnSnapshot != nil && rec.Steps[si-1].Snapshot != nil {
+				b.opts.OnSnapshot(b.captureSnapshot(si-1, pi, i, br, &ps, detTotal))
 			}
 			if b.opts.OnObserve != nil {
 				b.opts.OnObserve(BatchProgress{
@@ -715,11 +844,16 @@ func (b *FaultBatch) RunRecording(ctx context.Context, rec *switchsim.Recording,
 	}
 
 	for fi, fs := range b.faults {
+		// Collapsed class members read their representative's outcomes:
+		// detection state is already fanned out at observation time, and
+		// oscillation flags and final records were identical at collapse
+		// and evolve only on the representative's lane afterwards.
+		src := b.resolveFault(fi)
 		br.Detected = append(br.Detected, fs.detected)
 		br.Detections = append(br.Detections, fs.det)
-		br.Oscillated = append(br.Oscillated, fs.oscillated)
+		br.Oscillated = append(br.Oscillated, src.oscillated)
 		var recs map[netlist.NodeID]logic.Value
-		if fs.recs.size() > 0 {
+		if src.recs.size() > 0 {
 			recs = b.Records(fi)
 		}
 		br.Records = append(br.Records, recs)

@@ -83,12 +83,40 @@ type Options struct {
 	// for every Workers value. 0 selects runtime.GOMAXPROCS(0); 1 runs
 	// fully inline.
 	Workers int
+	// Trim enables redundancy trimming: materialization-equivalent fault
+	// classes collapse onto one representative lane after a probation
+	// window (see trim.go), and the worker solvers memoize read-verified
+	// vicinity solves (see switchsim/vicmemo.go). Every BatchResult field
+	// is byte-identical with trimming on or off — the trims shed executed
+	// wall-clock work, not counted work; the executed savings are reported
+	// separately through FaultBatch.TrimStats.
+	Trim bool
+	// TrimProbation sets the class-collapse probation window in settings
+	// (0 selects DefaultTrimProbation). Candidate members must keep their
+	// divergence signature identical to their representative's through
+	// the window before their lanes collapse.
+	TrimProbation int
 	// OnObserve, when non-nil, is invoked by batch replays
 	// (FaultBatch.RunRecording) after every input setting with that
 	// setting's progress. It is called synchronously from the replaying
 	// goroutine and must be fast; it never affects simulation results and
 	// is excluded from campaign checkpoint fingerprints.
 	OnObserve func(BatchProgress)
+
+	// SnapshotEvery, when > 0, makes Record capture a full good-circuit
+	// state frame every that many settings. Frames add O(nodes) bytes
+	// each to the recording and never affect simulation results; they
+	// exist so batch replays can resume mid-sequence (RunBatchFrom)
+	// without replaying the prefix. Excluded from campaign checkpoint
+	// fingerprints.
+	SnapshotEvery int
+
+	// OnSnapshot, when non-nil, is invoked by batch replays after every
+	// setting whose recording step carries a state frame, with a
+	// serializable snapshot of the batch at that boundary (see
+	// BatchSnapshot). Called synchronously like OnObserve; never affects
+	// results; excluded from checkpoint fingerprints.
+	OnSnapshot func(*BatchSnapshot)
 }
 
 // BatchProgress is one setting's progress report from a batch replay: the
@@ -146,6 +174,17 @@ type faultState struct {
 	recs recStore
 	// oscillated notes any settle of this circuit hit the round limit.
 	oscillated bool
+
+	// Equivalence-class bookkeeping (Options.Trim, see trim.go). sig is
+	// the incremental XOR-fold of the record store; repFi the batch index
+	// of this fault's representative (meaningful when it has one);
+	// classMembers, on a representative, the batch indices of its
+	// candidate (after collapse: collapsed) members.
+	sig            uint64
+	repFi          int
+	classMembers   []int
+	classCancelled bool
+	collapsed      bool
 }
 
 // Simulator is the concurrent fault simulator: a good-circuit producer

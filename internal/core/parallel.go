@@ -53,11 +53,14 @@ type recOp struct {
 }
 
 // stepResult locates one activated circuit's diff in its worker's op
-// arena.
+// arena. work carries the circuit's solver-work delta when the circuit is
+// a collapsed-class representative (measured so the members' credit can
+// be fanned out at write-back).
 type stepResult struct {
 	wid    int
 	lo, hi int
 	osc    bool
+	work   switchsim.Work
 }
 
 // faultWorker owns the per-goroutine state needed to execute one faulty
@@ -108,6 +111,9 @@ func newFaultWorker(b *FaultBatch) *faultWorker {
 	}
 	w.solve.StaticLocality = b.opts.StaticLocality
 	w.solve.MaxRounds = b.opts.MaxRounds
+	if b.opts.Trim && !b.opts.StaticLocality {
+		w.solve.Memo = switchsim.NewVicMemo(b.tab, 0)
+	}
 	return w
 }
 
@@ -324,6 +330,9 @@ func (b *FaultBatch) applyOps(ci CircuitID, ops []recOp, osc bool) {
 // runActivated executes the scheduled active circuits — inline on
 // workers[0] when the batch is small or the pool has size 1, sharded
 // across the pool otherwise — and merges their diffs deterministically.
+// Collapsed-class representatives have their per-circuit work delta
+// measured and credited to their members (times the live member count),
+// so work totals stay byte-identical to the untrimmed run.
 func (b *FaultBatch) runActivated(setting switchsim.Setting, extraSeeds []netlist.NodeID, traj *switchsim.Trajectory, goodChanged []switchsim.Change) {
 	active := b.active
 	if len(active) == 0 {
@@ -333,7 +342,17 @@ func (b *FaultBatch) runActivated(setting switchsim.Setting, extraSeeds []netlis
 		w := b.workers[0]
 		w.ops = w.ops[:0]
 		for _, ci := range active {
+			fs := b.faults[ci-1]
+			credit := 0
+			var w0 switchsim.Work
+			if b.anyCollapsed && len(fs.classMembers) > 0 {
+				credit = b.liveCollapsedMembers(fs)
+				w0 = w.solve.Work()
+			}
 			lo, hi, osc := w.stepFaulty(ci, setting, extraSeeds, traj, goodChanged)
+			if credit > 0 {
+				b.creditWork.Add(w.solve.Work().Sub(w0).Scaled(int64(credit)))
+			}
 			b.applyOps(ci, w.ops[lo:hi], osc)
 			w.ops = w.ops[:lo]
 		}
@@ -361,8 +380,18 @@ func (b *FaultBatch) runActivated(setting switchsim.Setting, extraSeeds []netlis
 				if i >= len(active) {
 					return
 				}
-				lo, hi, osc := w.stepFaulty(active[i], setting, extraSeeds, traj, goodChanged)
-				results[i] = stepResult{wid: wid, lo: lo, hi: hi, osc: osc}
+				ci := active[i]
+				measure := b.anyCollapsed && len(b.faults[ci-1].classMembers) > 0
+				var w0 switchsim.Work
+				if measure {
+					w0 = w.solve.Work()
+				}
+				lo, hi, osc := w.stepFaulty(ci, setting, extraSeeds, traj, goodChanged)
+				r := stepResult{wid: wid, lo: lo, hi: hi, osc: osc}
+				if measure {
+					r.work = w.solve.Work().Sub(w0)
+				}
+				results[i] = r
 			}
 		}(wid, w)
 	}
@@ -371,6 +400,11 @@ func (b *FaultBatch) runActivated(setting switchsim.Setting, extraSeeds []netlis
 	// which worker computed what or when it finished.
 	for i, ci := range active {
 		r := results[i]
+		if fs := b.faults[ci-1]; b.anyCollapsed && len(fs.classMembers) > 0 {
+			if credit := b.liveCollapsedMembers(fs); credit > 0 {
+				b.creditWork.Add(r.work.Scaled(int64(credit)))
+			}
+		}
 		b.applyOps(ci, b.workers[r.wid].ops[r.lo:r.hi], r.osc)
 	}
 }
@@ -417,12 +451,14 @@ func (b *FaultBatch) trimDeltaLog() {
 	}
 }
 
-// faultWork sums the fault-side solver work counters across the pool.
-// Each circuit's work is deterministic and the sum is order-independent,
-// so the total is identical for every worker count (and every lane
-// width: the per-lane replay examines only its own lane's divergence).
+// faultWork sums the fault-side solver work counters across the pool,
+// plus the work credited to collapsed class members (their
+// representative's, fanned out — see trim.go). Each circuit's work is
+// deterministic and the sum is order-independent, so the total is
+// identical for every worker count (and every lane width: the per-lane
+// replay examines only its own lane's divergence).
 func (b *FaultBatch) faultWork() switchsim.Work {
-	var t switchsim.Work
+	t := b.creditWork
 	for _, w := range b.workers {
 		t.Add(w.solve.Work())
 	}

@@ -89,6 +89,14 @@ func (b *FaultBatch) recRow(n netlist.NodeID) []laneCell {
 func (b *FaultBatch) setRecord(n netlist.NodeID, ci CircuitID, v logic.Value) {
 	fs := b.faults[ci-1]
 	i, exists := fs.recs.find(n)
+	if b.classPending {
+		// Divergence signature for class probation: XOR-fold, so updates
+		// retract the old term and add the new one in O(1).
+		if exists {
+			fs.sig ^= sigHash(n, fs.recs.vals[i])
+		}
+		fs.sig ^= sigHash(n, v)
+	}
 	word, bit := b.lane(ci)
 	cell := &b.recRow(n)[word]
 	cell.pl.Set(bit, v)
@@ -108,6 +116,9 @@ func (b *FaultBatch) clearRecord(n netlist.NodeID, ci CircuitID) {
 	i, exists := fs.recs.find(n)
 	if !exists {
 		return
+	}
+	if b.classPending {
+		fs.sig ^= sigHash(n, fs.recs.vals[i])
 	}
 	fs.recs.deleteAt(i)
 	word, bit := b.lane(ci)
@@ -237,7 +248,9 @@ func (b *FaultBatch) checkRecordInvariants() error {
 	}
 	for fi, fs := range b.faults {
 		ci := CircuitID(fi + 1)
-		if fs.dropped {
+		if fs.dropped || fs.collapsed {
+			// A collapsed class member surrendered its lane: no interest
+			// registrations remain (its representative carries the class).
 			continue
 		}
 		for _, n := range fs.sites {

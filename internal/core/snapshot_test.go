@@ -1,0 +1,99 @@
+package core
+
+import (
+	"encoding/json"
+	"testing"
+
+	"fmossim/internal/fault"
+	"fmossim/internal/march"
+	"fmossim/internal/netlist"
+	"fmossim/internal/ram"
+	"fmossim/internal/switchsim"
+)
+
+// TestSnapshotResumeByteIdentical verifies mid-sequence batch resume: a
+// replay restarted from any captured snapshot (after a JSON round-trip,
+// as a campaign checkpoint would store it) produces a BatchResult
+// byte-identical to the uninterrupted run — with trimming off and on,
+// and across worker counts.
+func TestSnapshotResumeByteIdentical(t *testing.T) {
+	m := ram.RAM64()
+	seq := march.Sequence1(m)
+	base := Options{Observe: []netlist.NodeID{m.DataOut}, SnapshotEvery: 7}
+	rec := Record(m.Net, seq, base)
+	tab := switchsim.NewTables(m.Net)
+
+	frames := 0
+	for i := range rec.Steps {
+		if rec.Steps[i].Snapshot != nil {
+			frames++
+		}
+	}
+	if frames == 0 {
+		t.Fatal("recording captured no snapshot frames")
+	}
+
+	faults := fault.NodeStuckFaults(m.Net, fault.Options{})
+	for _, trim := range []bool{false, true} {
+		opts := base
+		opts.Workers = 2
+		opts.Trim = trim
+		opts.TrimProbation = 4
+
+		var snaps []*BatchSnapshot
+		full := opts
+		full.OnSnapshot = func(s *BatchSnapshot) { snaps = append(snaps, s) }
+		want, err := RunBatch(nil, tab, faults, rec, seq, full)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(snaps) != frames {
+			t.Fatalf("trim=%v: captured %d snapshots, recording has %d frames", trim, len(snaps), frames)
+		}
+		jWant := mustJSON(t, want)
+
+		// Resume from the first, a middle, and the last snapshot.
+		for _, si := range []int{0, len(snaps) / 2, len(snaps) - 1} {
+			bs, err := json.Marshal(snaps[si])
+			if err != nil {
+				t.Fatal(err)
+			}
+			snap := &BatchSnapshot{}
+			if err := json.Unmarshal(bs, snap); err != nil {
+				t.Fatal(err)
+			}
+			batch, err := NewFaultBatch(tab, faults, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := batch.RunRecordingFrom(nil, rec, seq, snap)
+			if err != nil {
+				t.Fatalf("trim=%v resume from snapshot %d: %v", trim, si, err)
+			}
+			if err := batch.CheckInvariants(); err != nil {
+				t.Fatalf("trim=%v resume from snapshot %d: invariants: %v", trim, si, err)
+			}
+			if jGot := mustJSON(t, got); string(jGot) != string(jWant) {
+				t.Fatalf("trim=%v: resume from snapshot %d (step %d) differs from uninterrupted run",
+					trim, si, snap.Step)
+			}
+		}
+	}
+
+	// A snapshot resumed against a recording without frames must fail
+	// with a clear error, not garbage results.
+	bare := Record(m.Net, seq, Options{Observe: base.Observe})
+	var snap *BatchSnapshot
+	capture := base
+	capture.OnSnapshot = func(s *BatchSnapshot) {
+		if snap == nil {
+			snap = s
+		}
+	}
+	if _, err := RunBatch(nil, tab, faults, rec, seq, capture); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RunBatchFrom(nil, tab, faults, bare, seq, snap, base); err == nil {
+		t.Fatal("resume against a frameless recording succeeded; want an error")
+	}
+}

@@ -196,7 +196,9 @@ func Run(ctx context.Context, spec server.JobSpec, opts Options) (*campaign.Resu
 	}
 	c.remaining.Store(int64(nBatches))
 	c.aliveSlots.Store(int64(slots))
-	for i := 0; i < nBatches; i++ {
+	// Seed the queue expensive-shards-first (see plan.go): the windows are
+	// the plain index-order split, only the dispatch order is planned.
+	for _, i := range planShardOrder(rec, wl.Net, wl.Faults, nBatches, batchSize) {
 		lo := i * batchSize
 		c.pending <- &shardState{idx: i, lo: lo, hi: min(lo+batchSize, nf), last: -1}
 	}

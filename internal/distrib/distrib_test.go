@@ -2,8 +2,10 @@ package distrib_test
 
 import (
 	"context"
+	"net/http"
 	"net/http/httptest"
 	"reflect"
+	"runtime"
 	"sync"
 	"testing"
 	"time"
@@ -264,5 +266,109 @@ func TestRunValidation(t *testing.T) {
 	bad := server.JobSpec{Workload: "ram1024"}
 	if _, err := distrib.Run(context.Background(), bad, distrib.Options{Workers: []string{"http://x"}}); err == nil {
 		t.Error("bad workload: want error")
+	}
+}
+
+// TestWorkerKilledMidRunTrimmed: the kill-a-worker scenario with
+// redundancy trimming on every shard — requeued shards re-run trimmed on
+// the survivors and the merge is still bit-identical to the untrimmed
+// monolithic baseline.
+func TestWorkerKilledMidRunTrimmed(t *testing.T) {
+	spec := ram256Spec()
+	wl, rec := resolveAndRecord(t, spec)
+	want := monolithic(t, wl, rec, 16)
+
+	spec.Trim = true
+	urls, servers := newWorkerPool(t, 3, server.Config{MaxJobs: 2})
+	var kill sync.Once
+	got, err := distrib.Run(context.Background(), spec, distrib.Options{
+		Workers:   urls,
+		BatchSize: 16,
+		Recording: rec,
+		Logf:      t.Logf,
+		Progress: func(ev campaign.ProgressEvent) {
+			kill.Do(func() {
+				go func() {
+					servers[0].CloseClientConnections()
+					servers[0].Close()
+				}()
+			})
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.BatchesRun != got.Batches {
+		t.Errorf("batches: %d run of %d", got.BatchesRun, got.Batches)
+	}
+	assertIdentical(t, got, want)
+}
+
+// TestEarlyStopDoubleCancelNoLeak: the coverage-target early stop fires
+// the coordinator's internal cancel while the caller's context is
+// cancelled at the same moment (double cancel), with shards still being
+// dispatched. The run must return the early-stopped result (the target
+// was met before the caller's cancel), every outstanding worker job must
+// be cancelled, and no coordinator goroutine may outlive Run.
+func TestEarlyStopDoubleCancelNoLeak(t *testing.T) {
+	spec := server.JobSpec{
+		Workload:       "ram64",
+		Sequence:       "sequence1",
+		FaultModel:     "paper",
+		CoverageTarget: 0.2,
+		Trim:           true,
+	}
+	urls, _ := newWorkerPool(t, 2, server.Config{MaxJobs: 2})
+
+	// Baseline after the worker pool is up: what must remain is the test
+	// plus the pool's own idle machinery, not anything Run spawned. The
+	// dedicated client lets the test drop its keep-alive connections
+	// afterwards (each idle connection pins a server-side goroutine).
+	before := runtime.NumGoroutine()
+	client := &http.Client{}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var once sync.Once
+	got, err := distrib.Run(ctx, spec, distrib.Options{
+		Workers:   urls,
+		BatchSize: 16, // many small shards: the stop fires mid-dispatch
+		InFlight:  2,
+		Client:    client,
+		Progress: func(ev campaign.ProgressEvent) {
+			// Race the caller's cancel against the internal early stop.
+			if ev.Coverage() >= 0.2 {
+				once.Do(cancel)
+			}
+		},
+	})
+	if err != nil {
+		t.Fatalf("double-cancelled early stop returned error: %v", err)
+	}
+	if got.Coverage() < 0.2 {
+		t.Fatalf("coverage %v below target", got.Coverage())
+	}
+	if got.BatchesRun+got.BatchesSkipped != got.Batches {
+		t.Fatalf("batch accounting: %d run + %d skipped != %d",
+			got.BatchesRun, got.BatchesSkipped, got.Batches)
+	}
+
+	// Goroutine count must settle back: the slot pool, streams, the
+	// workers' own job goroutines, and (after dropping the client's
+	// keep-alive connections) the per-connection server goroutines all
+	// wind down. Retry while they drain.
+	client.CloseIdleConnections()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		runtime.GC()
+		after := runtime.NumGoroutine()
+		if after <= before+2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			t.Fatalf("goroutines leaked: %d before, %d after\n%s",
+				before, after, buf[:runtime.Stack(buf, true)])
+		}
+		time.Sleep(50 * time.Millisecond)
 	}
 }

@@ -1,0 +1,75 @@
+// Activity-aware shard planning: the coordinator estimates each shard's
+// cost from the recording before dispatching anything, and hands out the
+// expensive shards first. With a fixed slot pool, front-loading the heavy
+// work shrinks the tail — a cheap shard finishing last wastes at most its
+// own small cost, while an expensive shard dispatched last can leave the
+// whole pool idle for its entire runtime.
+//
+// The estimate never touches results: only the order in which shards
+// enter the dispatch queue changes. Shard composition (the lo..hi fault
+// windows) is exactly the index-order split, so campaign.Merge receives
+// the identical per-batch results and the merged Result stays
+// byte-identical to any other dispatch order.
+package distrib
+
+import (
+	"sort"
+
+	"fmossim/internal/fault"
+	"fmossim/internal/netlist"
+	"fmossim/internal/switchsim"
+)
+
+// planHeadSteps bounds how much of the recording the planner reads. The
+// head of the trajectory is enough signal: a fault whose sites sit in a
+// region the good circuit exercises early diverges early and keeps its
+// circuit active; cold-region faults stay cheap for exactly as long as
+// their region stays cold. Reading the full recording would sharpen the
+// estimate slightly at proportionally higher planning cost.
+const planHeadSteps = 96
+
+// headActivity counts, per node, how often the recording's head explores
+// it: the per-node activity profile the fault cost estimates sample.
+func headActivity(rec *switchsim.Recording, numNodes int) []int {
+	touch := make([]int, numNodes)
+	steps := rec.Steps
+	if len(steps) > planHeadSteps {
+		steps = steps[:planHeadSteps]
+	}
+	for i := range steps {
+		for _, n := range steps[i].Explored {
+			if int(n) < len(touch) {
+				touch[int(n)]++
+			}
+		}
+	}
+	return touch
+}
+
+// planShardOrder returns the shard indices [0, nBatches) in dispatch
+// order: descending estimated cost, index ascending among ties (so the
+// plan itself is deterministic). A shard's estimate is the summed head
+// activity over its faults' static sites, plus one unit per fault so
+// fully cold shards still order by width.
+func planShardOrder(rec *switchsim.Recording, nw *netlist.Network, faults []fault.Fault, nBatches, batchSize int) []int {
+	touch := headActivity(rec, nw.NumNodes())
+	cost := make([]int64, nBatches)
+	for fi := range faults {
+		est := int64(1)
+		for _, n := range faults[fi].Sites(nw) {
+			est += int64(touch[int(n)])
+		}
+		cost[fi/batchSize] += est
+	}
+	order := make([]int, nBatches)
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		if cost[order[a]] != cost[order[b]] {
+			return cost[order[a]] > cost[order[b]]
+		}
+		return order[a] < order[b]
+	})
+	return order
+}

@@ -323,9 +323,11 @@ func (m *Manager) runJob(job *Job) {
 	}
 	res, err := campaign.Run(job.ctx, wl.Net, wl.Faults, wl.Seq, campaign.Options{
 		Sim: core.Options{
-			Observe: wl.Observe,
-			Drop:    job.Spec.dropPolicy(),
-			Workers: job.Spec.Workers,
+			Observe:       wl.Observe,
+			Drop:          job.Spec.dropPolicy(),
+			Workers:       job.Spec.Workers,
+			Trim:          job.Spec.Trim,
+			TrimProbation: job.Spec.TrimProbation,
 		},
 		BatchSize:      job.Spec.BatchSize,
 		Shards:         shards,
@@ -378,9 +380,11 @@ func (m *Manager) runShard(job *Job, wl *Workload, start time.Time) {
 		job.batches = 1
 	})
 	opts := core.Options{
-		Observe: wl.Observe,
-		Drop:    job.Spec.dropPolicy(),
-		Workers: job.Spec.Workers,
+		Observe:       wl.Observe,
+		Drop:          job.Spec.dropPolicy(),
+		Workers:       job.Spec.Workers,
+		Trim:          job.Spec.Trim,
+		TrimProbation: job.Spec.TrimProbation,
 	}
 	if opts.Workers <= 0 {
 		opts.Workers = m.fairShare()

@@ -436,3 +436,19 @@ func (c *Circuit) Snapshot() []logic.Value {
 	copy(out, c.val)
 	return out
 }
+
+// LoadState overwrites every node value from a state frame (as returned
+// by Snapshot) and rederives all transistor states: the O(nodes)
+// fast-forward a replay consumer uses to jump its fault-free mirrors to a
+// recorded mid-sequence snapshot. The circuit must carry no pins or
+// forces — frames describe the good circuit only.
+func (c *Circuit) LoadState(vals []logic.Value) {
+	if len(vals) != len(c.val) {
+		panic(fmt.Sprintf("switchsim: LoadState frame has %d values, circuit has %d nodes", len(vals), len(c.val)))
+	}
+	if c.Faulty() {
+		panic("switchsim: LoadState into a faulted circuit")
+	}
+	copy(c.val, vals)
+	c.RecomputeTransistors()
+}

@@ -53,6 +53,13 @@ type StepTrace struct {
 	// Traj is the recorded settle trajectory (nil when not recorded or
 	// when borrowed live from a non-recording path).
 	Traj *Trajectory
+	// Snapshot, when non-nil, is a full good-circuit state frame: every
+	// node's value after this step, in node-id order. Frames let a
+	// consumer fast-forward its good-state mirrors to this step in
+	// O(nodes) instead of replaying every intermediate delta, which is
+	// what makes mid-sequence batch resume cheap (see core.RunBatchFrom).
+	// Captured every Options.SnapshotEvery settings by core.Record.
+	Snapshot []logic.Value
 	// GoodWork and GoodNS are the solver work units and wall-clock
 	// nanoseconds the good-circuit settle consumed.
 	GoodWork int64
@@ -127,7 +134,17 @@ func (r *Recording) Append(t *StepTrace) {
 	if t.Traj != nil && !t.Oscillated {
 		st.Traj = t.Traj.Clone()
 	}
+	st.Snapshot = slices.Clone(t.Snapshot)
 	r.Steps = append(r.Steps, st)
+}
+
+// SnapshotAt returns the state frame captured at step index step (0 is
+// the initialization), or nil when that step carries none.
+func (r *Recording) SnapshotAt(step int) []logic.Value {
+	if step < 0 || step >= len(r.Steps) {
+		return nil
+	}
+	return r.Steps[step].Snapshot
 }
 
 // Clone returns an owned deep copy of the trajectory, decoupled from the
@@ -151,8 +168,14 @@ func (tr *Trajectory) Clone() *Trajectory {
 // captured on one machine (or in one process) can be stored and replayed
 // by later fault campaigns without re-simulating the good circuit.
 
-// recordingMagic versions the on-disk format.
-const recordingMagic = "FMOSREC1"
+// recordingMagic versions the on-disk format. Version 2 added optional
+// per-step state snapshot frames (flagSnapshot); Encode always writes the
+// current version, DecodeRecording accepts both (a v1 recording simply
+// carries no frames).
+const (
+	recordingMagicV1 = "FMOSREC1"
+	recordingMagic   = "FMOSREC2"
+)
 
 // Fingerprint returns the recording's content fingerprint: the lowercase
 // hex SHA-256 of its Encode serialization. Two recordings share a
@@ -180,6 +203,7 @@ const (
 	flagInit byte = 1 << iota
 	flagOscillated
 	flagTraj
+	flagSnapshot // v2 only: the step carries a state frame
 )
 
 // Encode writes the recording in the versioned binary format.
@@ -203,6 +227,9 @@ func (r *Recording) Encode(w io.Writer) error {
 		if st.Traj != nil {
 			flags |= flagTraj
 		}
+		if st.Snapshot != nil {
+			flags |= flagSnapshot
+		}
 		bw.WriteByte(flags)
 		putUvarint(bw, uint64(st.GoodWork))
 		putUvarint(bw, uint64(st.GoodNS))
@@ -225,6 +252,15 @@ func (r *Recording) Encode(w io.Writer) error {
 				}
 			}
 		}
+		if st.Snapshot != nil {
+			// One value byte per node; the length is written so a decoder
+			// can reject a frame that does not match the header's node
+			// count without trusting it.
+			putUvarint(bw, uint64(len(st.Snapshot)))
+			for _, v := range st.Snapshot {
+				bw.WriteByte(byte(v))
+			}
+		}
 	}
 	return bw.Flush()
 }
@@ -236,7 +272,7 @@ func DecodeRecording(r io.Reader) (*Recording, error) {
 	if _, err := io.ReadFull(br, magic); err != nil {
 		return nil, fmt.Errorf("switchsim: reading recording header: %w", err)
 	}
-	if string(magic) != recordingMagic {
+	if string(magic) != recordingMagic && string(magic) != recordingMagicV1 {
 		return nil, fmt.Errorf("switchsim: not a recording (bad magic %q)", magic)
 	}
 	d := &decoder{br: br}
@@ -279,6 +315,12 @@ func DecodeRecording(r io.Reader) (*Recording, error) {
 				traj.rounds = append(traj.rounds, round)
 			}
 			st.Traj = traj
+		}
+		if flags&flagSnapshot != 0 {
+			// A v1 recording never sets this bit (the format predates it);
+			// if one does, the byte stream is corrupt and the frame decode
+			// below fails on length or value validation anyway.
+			st.Snapshot = d.snapshot(maxNode)
 		}
 		rec.Steps = append(rec.Steps, st)
 	}
@@ -350,6 +392,27 @@ func (d *decoder) nodes(maxNode uint64) []netlist.NodeID {
 	out := make([]netlist.NodeID, 0, n)
 	for i := 0; i < n && d.err == nil; i++ {
 		out = append(out, d.node(maxNode))
+	}
+	return out
+}
+
+// snapshot decodes one state frame: exactly one value byte per node.
+func (d *decoder) snapshot(maxNode uint64) []logic.Value {
+	n := d.uvarint()
+	if d.err != nil {
+		return nil
+	}
+	if n != maxNode {
+		d.err = fmt.Errorf("snapshot frame has %d values, network has %d nodes", n, maxNode)
+		return nil
+	}
+	out := make([]logic.Value, 0, n)
+	for i := uint64(0); i < n && d.err == nil; i++ {
+		v := logic.Value(d.byte())
+		if d.err == nil && v > logic.X {
+			d.err = fmt.Errorf("bad snapshot value %d", v)
+		}
+		out = append(out, v)
 	}
 	return out
 }

@@ -29,11 +29,16 @@ func fakeRecording() *Recording {
 			},
 		}},
 	})
+	snap := make([]logic.Value, rec.NumNodes)
+	for i := range snap {
+		snap[i] = logic.Value(i % int(logic.X+1))
+	}
 	rec.Steps = append(rec.Steps, StepTrace{
 		InputChanges: []Change{{Node: 0, Value: logic.Lo}},
 		Explored:     []netlist.NodeID{2},
 		Oscillated:   true,
 		GoodWork:     55,
+		Snapshot:     snap,
 	})
 	rec.Steps = append(rec.Steps, StepTrace{
 		InputChanges: []Change{{Node: 1, Value: logic.Hi}},
@@ -63,6 +68,31 @@ func TestRecordingRoundTrip(t *testing.T) {
 	}
 	if w := rec.GoodWork(); w != 1234+55+7 {
 		t.Errorf("GoodWork = %d", w)
+	}
+	if got.SnapshotAt(1) == nil || got.SnapshotAt(0) != nil || got.SnapshotAt(99) != nil {
+		t.Error("SnapshotAt: frame placement wrong after round trip")
+	}
+}
+
+// TestRecordingDecodeV1 verifies the decoder still accepts the previous
+// stream version (no snapshot frames).
+func TestRecordingDecodeV1(t *testing.T) {
+	rec := fakeRecording()
+	for i := range rec.Steps {
+		rec.Steps[i].Snapshot = nil
+	}
+	var buf bytes.Buffer
+	if err := rec.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	enc := buf.Bytes()
+	copy(enc, recordingMagicV1)
+	got, err := DecodeRecording(bytes.NewReader(enc))
+	if err != nil {
+		t.Fatalf("v1 stream rejected: %v", err)
+	}
+	if !reflect.DeepEqual(rec, got) {
+		t.Fatal("v1 round trip mismatch")
 	}
 }
 

@@ -161,6 +161,21 @@ func (w Work) Sub(w2 Work) Work {
 	}
 }
 
+// Scaled returns the counters multiplied by k: the work k identical
+// circuits would accumulate. Used by the trimming layer to credit
+// collapsed equivalence-class members with their representative's work.
+func (w Work) Scaled(k int64) Work {
+	return Work{
+		Settles:        w.Settles * k,
+		Rounds:         w.Rounds * k,
+		Vicinities:     w.Vicinities * k,
+		NodesSolved:    w.NodesSolved * k,
+		RelaxSteps:     w.RelaxSteps * k,
+		AdoptedChanges: w.AdoptedChanges * k,
+		AdoptedVics:    w.AdoptedVics * k,
+	}
+}
+
 // Units returns the scalar work metric used as the deterministic stand-in
 // for CPU time: relaxation steps dominate, with a per-vicinity and
 // per-settle overhead term, mirroring the real cost structure. Adopted

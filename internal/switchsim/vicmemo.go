@@ -1,0 +1,318 @@
+// Vicinity-outcome memoization: the redundancy-trimming layer of the
+// indexed replay (the ERASER direction carried down to switch level).
+//
+// The measured redundancy in the RAM campaigns is dominated by
+// confirmation steps: a faulty circuit is activated because good-circuit
+// activity touched its interest set, re-solves the handful of vicinities
+// its static divergence flags as unadoptable, and produces exactly the
+// diff it produced the last dozen times the same march element swept by.
+// Whole-step sharing across faults is unsound (each fault's sites shift
+// the adopt-vs-solve split), but one level down the problem is closed: a
+// vicinity solve is a pure function of a small, exactly enumerable read
+// set. exploreVicinity's membership decisions read only the channel-edge
+// transistor states, input-likeness, this round's membership stamps, and
+// the serviced-vicinity exclusions; solveVicinity then reads only the
+// member values, the input-like neighbors' values, and static tables
+// (Charge, Drive, topology). A memo entry captures that read vector with
+// the solve's outcome; a later seed adopts the outcome only after every
+// captured read re-verifies against the live circuit — so a hit is
+// provably the solve the wave would have performed, across settings AND
+// across fault circuits sharing the worker's solver.
+//
+// Determinism contract: a hit replicates every observable effect of the
+// solve it replaces — membership stamps, explored-set append order,
+// divergence marks, post-solve strength scratch (readable by a later
+// same-round solve that bridges into the vicinity), relaxation epoch
+// bumps, value application, change propagation — and credits the exact
+// work counters the solve would have accumulated (stored at capture; the
+// verified read vector forces the relaxation to replay identically). Work
+// totals are therefore bit-identical with the memo on or off; only wall
+// clock and the solver-local MemoStats change. Entries never expire by
+// time: verification makes stale entries merely useless, not wrong.
+package switchsim
+
+import (
+	"fmossim/internal/logic"
+	"fmossim/internal/netlist"
+)
+
+// Edge-read classifications captured per channel edge of each member, in
+// tab.ChannelOf order. The classification pins the branch exploreVicinity
+// and solveVicinity take at that edge; verification re-asserts it.
+const (
+	edgeClosed   uint8 = iota // transistor state Lo: both passes skip the edge
+	edgeMember                // neighbor is a member of this vicinity
+	edgeInput                 // neighbor is input-like: its value is a solve root
+	edgeServiced              // neighbor adopted this round: excluded from the frontier
+)
+
+// memberRead is one member's captured identity and pre-solve value, in
+// exploration (s.vic) order; members[0] is the seed.
+type memberRead struct {
+	n   netlist.NodeID
+	val logic.Value
+}
+
+// edgeRead is one channel edge's captured reads: the transistor state and
+// the neighbor classification (val meaningful for edgeInput only).
+type edgeRead struct {
+	ts   logic.Value
+	kind uint8
+	val  logic.Value
+}
+
+// postStrength is a member's post-solve strength scratch, restored on a
+// hit so a later same-round solve bridging into the vicinity reads what
+// the real solve would have left.
+type postStrength struct {
+	def, hd, ld, hp, lp logic.Strength
+}
+
+// vicEntry is one memoized vicinity solve.
+type vicEntry struct {
+	members []memberRead
+	edges   []edgeRead // flattened per-member channel edges
+	post    []postStrength
+	newVal  []logic.Value // raw solve output (pre any X-mode Lub)
+	relax   int64         // RelaxSteps the solve accumulated
+}
+
+// memoChainCap bounds the entries retained per seed node; distinct local
+// contexts at one seed (write 0 / write 1 / read disturb...) each earn a
+// slot, replaced round-robin beyond the cap.
+const memoChainCap = 4
+
+// defaultMemoEntries bounds the total entries per memo; beyond it new
+// captures are dropped (existing entries keep verifying and hitting).
+const defaultMemoEntries = 1 << 15
+
+// MemoStats counts memo traffic. Wall-clock-class data: hit patterns
+// depend on worker scheduling, so these are exempt from the determinism
+// contract (deterministic only for Workers=1), like FaultNS.
+type MemoStats struct {
+	// Hits is the number of vicinity solves adopted from a verified entry.
+	Hits int64
+	// Misses counts lookups that found a chain but no entry verified.
+	Misses int64
+	// Stores counts captured entries; Skipped counts solves not captured
+	// (capacity reached, or a same-round foreign bridge made the read set
+	// non-capturable).
+	Stores, Skipped int64
+	// SavedUnits is the work (Work.Units scale) credited from stored
+	// outcomes instead of executed: 16 per vicinity + 4 per member + the
+	// stored relaxation steps.
+	SavedUnits int64
+}
+
+// Add accumulates o into s (pooling counters across worker solvers).
+func (s *MemoStats) Add(o MemoStats) {
+	s.Hits += o.Hits
+	s.Misses += o.Misses
+	s.Stores += o.Stores
+	s.Skipped += o.Skipped
+	s.SavedUnits += o.SavedUnits
+}
+
+// VicMemo is a per-solver vicinity-outcome memo. It is owned by exactly
+// one Solver (not safe for concurrent use) and enabled by assigning it to
+// Solver.Memo. It must be built over the same Tables as the solver.
+type VicMemo struct {
+	tab *Tables
+
+	// chains[n] holds the memo entries seeded at node n.
+	chains [][]*vicEntry
+	// rr[n] is the round-robin replacement cursor of n's chain.
+	rr []uint8
+
+	// mark stamps the current capture's members for edge classification.
+	mark      []uint32
+	markEpoch uint32
+
+	entries    int
+	maxEntries int
+
+	stats MemoStats
+}
+
+// NewVicMemo returns an empty memo over tab's network. maxEntries bounds
+// retained entries (0 selects a default).
+func NewVicMemo(tab *Tables, maxEntries int) *VicMemo {
+	if maxEntries <= 0 {
+		maxEntries = defaultMemoEntries
+	}
+	n := tab.Net.NumNodes()
+	return &VicMemo{
+		tab:        tab,
+		chains:     make([][]*vicEntry, n),
+		rr:         make([]uint8, n),
+		mark:       make([]uint32, n),
+		maxEntries: maxEntries,
+	}
+}
+
+// Stats returns the accumulated memo counters.
+func (m *VicMemo) Stats() MemoStats { return m.stats }
+
+// adopt attempts to service seed from a memoized vicinity solve. On a
+// verified hit it replicates the full solve effect on c and s (stamps,
+// explored set, divergence marks, strength scratch, relax epochs, value
+// application, propagation), credits the stored work, and returns true.
+// Called by SettleReplayIndexed in place of the explore/solve pair; the
+// caller has already established that seed is not input-like and not
+// stamped this round.
+func (m *VicMemo) adopt(s *Solver, c *Circuit, seed netlist.NodeID, xmode bool) bool {
+	chain := m.chains[seed]
+	if len(chain) == 0 {
+		return false
+	}
+entries:
+	for _, e := range chain {
+		// Verify the read vector. Any mismatch means the live exploration
+		// or solve would branch differently somewhere: fall through to the
+		// real solve.
+		ei := 0
+		for _, mr := range e.members {
+			u := mr.n
+			if c.IsInputLike(u) || s.stamp[u] == s.epoch || c.val[u] != mr.val {
+				continue entries
+			}
+			if s.rvState != nil && s.servicedThisRound(u) {
+				continue entries
+			}
+			for _, ed := range m.tab.ChannelOf(u) {
+				er := &e.edges[ei]
+				ei++
+				if c.ts[ed.T] != er.ts {
+					continue entries
+				}
+				switch er.kind {
+				case edgeClosed, edgeMember:
+					// Closed edges need only the state match; member
+					// neighbors are covered by their own member checks.
+				case edgeInput:
+					if v := ed.Other; !c.IsInputLike(v) || c.val[v] != er.val {
+						continue entries
+					}
+				case edgeServiced:
+					v := ed.Other
+					if s.rvState == nil || c.IsInputLike(v) || s.stamp[v] == s.epoch || !s.servicedThisRound(v) {
+						continue entries
+					}
+				}
+			}
+		}
+
+		// Hit: replicate the solve. Stamp, record and mark the members in
+		// exploration order (exactly the real path's explored/markDiverged
+		// loop), restore the post-solve strength scratch and the relaxation
+		// epoch evolution, credit the work the solve would have counted,
+		// then apply the values with the caller's X-mode policy.
+		for i, mr := range e.members {
+			u := mr.n
+			s.stamp[u] = s.epoch
+			if s.exploredStamp[u] != s.exploredEpoch {
+				s.exploredStamp[u] = s.exploredEpoch
+				s.explored = append(s.explored, u)
+			}
+			s.markDiverged(u)
+			p := &e.post[i]
+			s.def[u], s.hd[u], s.ld[u], s.hp[u], s.lp[u] = p.def, p.hd, p.ld, p.hp, p.lp
+		}
+		if len(e.members) > 1 {
+			// The general solve runs two worklist phases, each opening a
+			// relaxation epoch and leaving processed members one behind it.
+			s.relaxEpoch += 2
+			for _, mr := range e.members {
+				s.relaxStamp[mr.n] = s.relaxEpoch - 1
+			}
+		}
+		s.work.Vicinities++
+		s.work.NodesSolved += int64(len(e.members))
+		s.work.RelaxSteps += e.relax
+		m.stats.Hits++
+		m.stats.SavedUnits += 16 + 4*int64(len(e.members)) + e.relax
+
+		for i, mr := range e.members {
+			u := mr.n
+			nv := e.newVal[i]
+			if xmode {
+				nv = logic.Lub(c.val[u], nv)
+			}
+			if nv == c.val[u] {
+				continue
+			}
+			c.val[u] = nv
+			s.noteChanged(u)
+			s.propagate(c, u)
+		}
+		return true
+	}
+	m.stats.Misses++
+	return false
+}
+
+// store captures the vicinity solve that just ran: s.vic is the member
+// set in exploration order, c still holds the pre-solve values (the apply
+// loop has not run), newVal is the raw solve output, and relax the
+// RelaxSteps it accumulated. Called by SettleReplayIndexed between
+// solveVicinity and the apply loop.
+func (m *VicMemo) store(s *Solver, c *Circuit, newVal []logic.Value, relax int64) {
+	if m.entries >= m.maxEntries {
+		m.stats.Skipped++
+		return
+	}
+	vic := s.vic
+	m.markEpoch++
+	for _, u := range vic {
+		m.mark[u] = m.markEpoch
+	}
+	members := make([]memberRead, len(vic))
+	post := make([]postStrength, len(vic))
+	edges := make([]edgeRead, 0, 4*len(vic))
+	for i, u := range vic {
+		members[i] = memberRead{n: u, val: c.val[u]}
+		post[i] = postStrength{def: s.def[u], hd: s.hd[u], ld: s.ld[u], hp: s.hp[u], lp: s.lp[u]}
+		for _, ed := range m.tab.ChannelOf(u) {
+			ts := c.ts[ed.T]
+			er := edgeRead{ts: ts}
+			v := ed.Other
+			switch {
+			case ts == logic.Lo:
+				er.kind = edgeClosed
+			case c.IsInputLike(v):
+				er.kind = edgeInput
+				er.val = c.val[v]
+			case m.mark[v] == m.markEpoch:
+				er.kind = edgeMember
+			case s.rvState != nil && s.servicedThisRound(v):
+				er.kind = edgeServiced
+			default:
+				// A conducting edge into a node that is neither a member,
+				// an input, nor an adopted vicinity: the exploration
+				// skipped it as already stamped by an earlier solve this
+				// round, and the solve read that solve's strength scratch
+				// — state outside the capturable read set. Don't memoize.
+				m.stats.Skipped++
+				return
+			}
+			edges = append(edges, er)
+		}
+	}
+	e := &vicEntry{
+		members: members,
+		edges:   edges,
+		post:    post,
+		newVal:  append([]logic.Value(nil), newVal[:len(vic)]...),
+		relax:   relax,
+	}
+	seed := vic[0]
+	chain := m.chains[seed]
+	if len(chain) < memoChainCap {
+		m.chains[seed] = append(chain, e)
+		m.entries++
+	} else {
+		chain[m.rr[seed]] = e
+		m.rr[seed] = (m.rr[seed] + 1) % memoChainCap
+	}
+	m.stats.Stores++
+}
